@@ -1,0 +1,84 @@
+// Ablation: SIGMA control-channel FEC expansion.
+//
+// Key tuple blocks cross the (congested) distribution tree in special
+// packets. We sweep the FEC expansion z = (k + m) / k under a bottleneck
+// kept hot by CBR cross traffic and report the tuple-block decode rate at
+// the edge router and the honest receiver's throughput. The paper's choice
+// (z = 2, "error correction overcomes 50% packet loss") should decode
+// essentially every block; z = 1 (no parity) degrades under loss.
+#include <iostream>
+
+#include "exp/report.h"
+#include "exp/scenario.h"
+#include "util/flags.h"
+
+using namespace mcc;
+
+int main(int argc, char** argv) {
+  util::flag_set flags("FEC-rate ablation for SIGMA control packets");
+  flags.add("duration", "120", "seconds per run");
+  flags.add("seed", "41", "simulation seed");
+  if (!flags.parse(argc, argv)) return 1;
+  const double duration = flags.f64("duration");
+
+  std::cout << "# k  m  z  blocks_decoded/slots  honest_kbps\n";
+  struct fec_case {
+    int k;
+    int m;
+  };
+  for (const fec_case fc_case : {fec_case{4, 0}, fec_case{4, 2}, fec_case{4, 4},
+                                 fec_case{4, 8}}) {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = 500e3;
+    // Same seed for every FEC configuration: identical cross traffic, so the
+    // decode rates are directly comparable.
+    cfg.seed = static_cast<std::uint64_t>(flags.i64("seed"));
+    exp::dumbbell d(cfg);
+
+    // Hand-build the session so we control the emitter's FEC parameters.
+    flid::flid_config fc = d.default_flid_config(exp::flid_mode::ds);
+    fc.session_id = 90;
+    fc.group_addr_base = 40'000;
+    const auto src = d.net().add_host("fec_src");
+    sim::link_config ac;
+    d.net().connect(src, d.left_router(), ac);
+    flid::flid_sender sender(d.net(), src, fc, cfg.seed);
+    core::sigma_emitter_config em_cfg;
+    em_cfg.data_shards = fc_case.k;
+    em_cfg.parity_shards = fc_case.m;
+    auto ds = core::make_flid_ds_sender(d.net(), src, sender, cfg.seed + 1,
+                                        em_cfg);
+    sender.start(0);
+
+    const auto rcv = d.net().add_host("fec_rcv");
+    d.net().connect(d.right_router(), rcv, ac);
+    flid::flid_receiver receiver(d.net(), rcv, d.right_router(), fc,
+                                 std::make_unique<core::honest_sigma_strategy>());
+    receiver.start(0);
+
+    // Aggressive on-off CBR overloads the bottleneck during on-periods so
+    // control packets face real loss.
+    traffic::cbr_config cbr;
+    cbr.rate_bps = 520e3;
+    cbr.on_duration = sim::seconds(2.0);
+    cbr.off_duration = sim::seconds(1.0);
+    d.add_cbr(cbr);
+    d.run_until(sim::seconds(duration));
+
+    const auto& rstats = d.sigma().stats();
+    const auto& estats = ds.emitter->stats();
+    const double decode_rate =
+        static_cast<double>(rstats.blocks_decoded) /
+        static_cast<double>(std::max<std::uint64_t>(estats.slots, 1));
+    const double kbps = receiver.monitor().average_kbps(
+        sim::seconds(duration * 0.2), sim::seconds(duration));
+    std::printf("%d %d %.2f %.3f %.1f\n", fc_case.k, fc_case.m,
+                ds.emitter->expansion_factor(), decode_rate, kbps);
+  }
+  std::cout << "# expectation: z >= 2 decodes ~every slot's block (the paper's\n"
+               "# choice). Below z = 2, decode failures cost the receiver its\n"
+               "# authorizations, which feeds back into its own traffic and\n"
+               "# join churn — so the degraded points are lossy AND unstable,\n"
+               "# not monotone in z.\n";
+  return 0;
+}

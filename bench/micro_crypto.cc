@@ -1,0 +1,168 @@
+// Microbenchmarks for the cryptographic substrate: DELTA key pipelines,
+// Shamir threshold sharing, Reed-Solomon FEC, tuple serialization.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/delta_layered.h"
+#include "core/sigma_wire.h"
+#include "crypto/oneway.h"
+#include "crypto/prng.h"
+#include "crypto/rs_code.h"
+#include "crypto/shamir.h"
+
+using namespace mcc;
+
+static void bm_prng_next(benchmark::State& state) {
+  crypto::prng g(1);
+  for (auto _ : state) benchmark::DoNotOptimize(g.next());
+}
+BENCHMARK(bm_prng_next);
+
+static void bm_oneway_mix(benchmark::State& state) {
+  std::uint64_t x = 12345;
+  for (auto _ : state) benchmark::DoNotOptimize(x = crypto::oneway_mix(x));
+}
+BENCHMARK(bm_oneway_mix);
+
+static void bm_delta_begin_slot(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  core::delta_layered_sender sender(1, groups, 16, 7);
+  std::vector<int> counts(static_cast<std::size_t>(groups) + 1, 20);
+  std::int64_t slot = 0;
+  for (auto _ : state) {
+    sender.begin_slot(slot++, 0xfffffffe, counts);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_delta_begin_slot)->Arg(4)->Arg(10)->Arg(20);
+
+static void bm_delta_fill_fields(benchmark::State& state) {
+  core::delta_layered_sender sender(1, 10, 16, 7);
+  std::vector<int> counts(11, 1 << 20);  // effectively unbounded
+  sender.begin_slot(0, 0, counts);
+  sim::flid_data hdr;
+  int g = 1;
+  for (auto _ : state) {
+    sender.fill_fields(0, g, 0, false, hdr);
+    benchmark::DoNotOptimize(hdr.component);
+    g = (g % 10) + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_delta_fill_fields);
+
+static void bm_delta_reconstruct(benchmark::State& state) {
+  const int groups = 10;
+  core::delta_layered_sender sender(1, groups, 16, 7);
+  core::delta_layered_receiver receiver(groups);
+  std::vector<int> counts(static_cast<std::size_t>(groups) + 1, 20);
+  sender.begin_slot(0, 0, counts);
+  flid::slot_summary s;
+  s.slot = 0;
+  s.level = groups;
+  s.groups.assign(static_cast<std::size_t>(groups) + 1, {});
+  for (int g = 1; g <= groups; ++g) {
+    auto& rec = s.groups[static_cast<std::size_t>(g)];
+    rec.full_slot = true;
+    for (int i = 0; i < 20; ++i) {
+      sim::flid_data hdr;
+      sender.fill_fields(0, g, i, i == 19, hdr);
+      ++rec.received;
+      rec.expected = 20;
+      rec.xor_components ^= hdr.component;
+      if (g >= 2) rec.decrease = hdr.decrease;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(receiver.reconstruct(s));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_delta_reconstruct);
+
+static void bm_shamir_split(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = (3 * n) / 4;
+  crypto::prng g(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::shamir_split(123456, k, n, g));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_shamir_split)->Arg(20)->Arg(50)->Arg(100);
+
+static void bm_shamir_reconstruct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = (3 * n) / 4;
+  crypto::prng g(5);
+  const auto shares = crypto::shamir_split(987654, k, n, g);
+  const std::vector<crypto::shamir_share> subset(shares.begin(),
+                                                 shares.begin() + k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::shamir_reconstruct({subset.data(), subset.size()}));
+  }
+}
+BENCHMARK(bm_shamir_reconstruct)->Arg(20)->Arg(50);
+
+static void bm_rs_encode(benchmark::State& state) {
+  const int k = 4;
+  const int m = 4;
+  crypto::prng g(9);
+  std::vector<crypto::shard> data(k, crypto::shard(static_cast<std::size_t>(state.range(0))));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(g.next());
+  }
+  crypto::rs_code code(k, m);
+  for (auto _ : state) benchmark::DoNotOptimize(code.encode(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0) * k);
+}
+BENCHMARK(bm_rs_encode)->Arg(64)->Arg(512);
+
+static void bm_rs_decode_worst_case(benchmark::State& state) {
+  const int k = 4;
+  const int m = 4;
+  crypto::prng g(9);
+  std::vector<crypto::shard> data(k, crypto::shard(static_cast<std::size_t>(state.range(0))));
+  for (auto& s : data) {
+    for (auto& b : s) b = static_cast<std::uint8_t>(g.next());
+  }
+  crypto::rs_code code(k, m);
+  const auto cw = code.encode(data);
+  std::vector<crypto::indexed_shard> parity_only;
+  for (int i = k; i < k + m; ++i) {
+    parity_only.push_back(crypto::indexed_shard{i, cw[static_cast<std::size_t>(i)]});
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(code.decode(parity_only));
+  state.SetBytesProcessed(state.iterations() * state.range(0) * k);
+}
+BENCHMARK(bm_rs_decode_worst_case)->Arg(64)->Arg(512);
+
+static void bm_sigma_serialize(benchmark::State& state) {
+  core::delta_layered_sender sender(1, 10, 16, 7);
+  std::vector<int> counts(11, 5);
+  sender.begin_slot(0, 0xfffffffe, counts);
+  std::vector<sim::group_addr> groups;
+  for (int g = 1; g <= 10; ++g) groups.push_back(sim::group_addr{1000 + g});
+  const auto block = core::block_from_keys(*sender.keys_for(2), groups,
+                                           sim::milliseconds(250), 16);
+  for (auto _ : state) benchmark::DoNotOptimize(core::serialize(block));
+}
+BENCHMARK(bm_sigma_serialize);
+
+static void bm_sigma_deserialize(benchmark::State& state) {
+  core::delta_layered_sender sender(1, 10, 16, 7);
+  std::vector<int> counts(11, 5);
+  sender.begin_slot(0, 0xfffffffe, counts);
+  std::vector<sim::group_addr> groups;
+  for (int g = 1; g <= 10; ++g) groups.push_back(sim::group_addr{1000 + g});
+  const auto bytes = core::serialize(core::block_from_keys(
+      *sender.keys_for(2), groups, sim::milliseconds(250), 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::deserialize_key_block(bytes));
+  }
+}
+BENCHMARK(bm_sigma_deserialize);
+
+BENCHMARK_MAIN();

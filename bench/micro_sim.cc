@@ -1,0 +1,87 @@
+// Microbenchmarks for the simulator substrate: event scheduling throughput
+// and end-to-end packet forwarding cost, plus a whole-scenario pps figure.
+#include <benchmark/benchmark.h>
+
+#include "exp/scenario.h"
+#include "sim/scheduler.h"
+
+using namespace mcc;
+
+static void bm_schedule_and_run(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::scheduler s;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      s.at(sim::microseconds(i), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bm_schedule_and_run)->Arg(1000)->Arg(100000);
+
+static void bm_event_cancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::scheduler s;
+    std::vector<sim::event_handle> handles;
+    handles.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      handles.push_back(s.at(sim::microseconds(i), [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+    s.run();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(bm_event_cancellation);
+
+static void bm_tcp_over_dumbbell(benchmark::State& state) {
+  // Cost of simulating one second of a saturated 10 Mbps TCP transfer.
+  for (auto _ : state) {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = 10e6;
+    exp::dumbbell d(cfg);
+    d.add_tcp_flow();
+    d.run_until(sim::seconds(static_cast<double>(state.range(0))));
+    benchmark::DoNotOptimize(d.sched().executed_events());
+  }
+}
+BENCHMARK(bm_tcp_over_dumbbell)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+static void bm_flid_ds_session_second(benchmark::State& state) {
+  // Cost of simulating one second of a full FLID-DS session (sender, DELTA,
+  // SIGMA control plane, receiver, edge enforcement).
+  for (auto _ : state) {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = 10e6;
+    exp::dumbbell d(cfg);
+    d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+    d.run_until(sim::seconds(static_cast<double>(state.range(0))));
+    benchmark::DoNotOptimize(d.sched().executed_events());
+  }
+}
+BENCHMARK(bm_flid_ds_session_second)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+static void bm_attack_scenario(benchmark::State& state) {
+  // The full Figure-7 scenario at 1/10th duration: useful to track the cost
+  // of the headline experiment.
+  for (auto _ : state) {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = 1e6;
+    exp::dumbbell d(cfg);
+    exp::receiver_options attacker;
+    attacker.inflate = true;
+    attacker.inflate_at = sim::seconds(10.0);
+    d.add_flid_session(exp::flid_mode::ds, {attacker});
+    d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+    d.add_tcp_flow();
+    d.add_tcp_flow();
+    d.run_until(sim::seconds(20.0));
+    benchmark::DoNotOptimize(d.sched().executed_events());
+  }
+}
+BENCHMARK(bm_attack_scenario)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

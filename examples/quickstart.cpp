@@ -1,0 +1,57 @@
+// Quickstart: one FLID-DS session over a single-bottleneck topology.
+//
+// Builds the paper's dumbbell, runs a protected multicast session for 30
+// simulated seconds, and prints what the receiver achieved and what the
+// SIGMA edge router saw. Start here to learn the public API:
+//
+//   exp::dumbbell        - topology + routing + edge agents (IGMP, SIGMA)
+//   add_flid_session     - sender + DELTA + SIGMA control plane + receivers
+//   flid_receiver        - per-slot congestion bookkeeping + strategy
+//   sigma_router_agent   - key-based group access control at the edge
+#include <cstdio>
+
+#include "exp/scenario.h"
+
+using namespace mcc;
+
+int main() {
+  // A 1 Mbps bottleneck with 20 ms delay; access links 10 Mbps / 10 ms.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 42;
+  exp::dumbbell net(cfg);
+
+  // One FLID-DS session (FLID-DL + DELTA + SIGMA) with a single honest
+  // receiver. The session has 10 groups: 100 Kbps base layer, cumulative
+  // rate growing 1.5x per group, 250 ms time slots.
+  auto& session = net.add_flid_session(exp::flid_mode::ds,
+                                       {exp::receiver_options{}});
+
+  net.run_until(sim::seconds(30.0));
+
+  auto& receiver = session.receiver();
+  std::printf("subscription level after 30 s : %d of %d groups\n",
+              receiver.level(), session.config.num_groups);
+  std::printf("cumulative rate at that level : %.0f Kbps\n",
+              session.config.cumulative_rate_bps(receiver.level()) / 1e3);
+  std::printf("measured goodput [10 s, 30 s] : %.0f Kbps\n",
+              receiver.monitor().average_kbps(sim::seconds(10.0),
+                                              sim::seconds(30.0)));
+  std::printf("congested slots observed      : %llu of %llu\n",
+              static_cast<unsigned long long>(receiver.stats().slots_congested),
+              static_cast<unsigned long long>(receiver.stats().slots_evaluated));
+
+  const auto& sigma = net.sigma().stats();
+  std::printf("\nSIGMA edge router:\n");
+  std::printf("  key tuple blocks decoded    : %llu\n",
+              static_cast<unsigned long long>(sigma.blocks_decoded));
+  std::printf("  valid keys accepted         : %llu\n",
+              static_cast<unsigned long long>(sigma.valid_keys));
+  std::printf("  invalid keys rejected       : %llu\n",
+              static_cast<unsigned long long>(sigma.invalid_keys));
+  std::printf("  packets under grace         : %llu\n",
+              static_cast<unsigned long long>(sigma.grace_forwards));
+  std::printf("  packets under authorization : %llu\n",
+              static_cast<unsigned long long>(sigma.authorized_forwards));
+  return 0;
+}

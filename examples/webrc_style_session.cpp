@@ -1,0 +1,89 @@
+// Threshold-based layered multicast (RLM/WEBRC style) under DELTA/SIGMA.
+//
+// FLID-DL treats a single lost packet as congestion; RLM, MLDA, and WEBRC
+// instead tolerate loss up to a per-level threshold. This example runs the
+// same lightly-lossy path against both protocols: the single-loss protocol
+// oscillates near the bottom while the 25%-threshold protocol holds the
+// bandwidth-appropriate level — and its entitlement is enforced by Shamir
+// threshold sharing, not by trusting the receiver (paper section 3.1.2).
+#include <cstdio>
+
+#include "core/tlm.h"
+#include "exp/scenario.h"
+
+using namespace mcc;
+
+int main() {
+  // 400 Kbps bottleneck: level 4 (338 Kbps) fits cleanly; level 5 (506 Kbps)
+  // overshoots by ~20% — below a 25% loss threshold, fatal to FLID's
+  // single-loss rule.
+  constexpr double bottleneck = 400e3;
+
+  // --- world A: FLID-DS (single packet loss = congestion) ------------------
+  double flid_kbps = 0.0;
+  int flid_level = 0;
+  {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = bottleneck;
+    cfg.seed = 11;
+    exp::dumbbell d(cfg);
+    auto& s = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+    d.run_until(sim::seconds(120.0));
+    flid_kbps = s.receiver().monitor().average_kbps(sim::seconds(60.0),
+                                                    sim::seconds(120.0));
+    flid_level = s.receiver().level();
+  }
+
+  // --- world B: TLM, 25% loss threshold per level (RLM default) ------------
+  double tlm_kbps = 0.0;
+  int tlm_level = 0;
+  core::tlm_sigma_strategy* strategy_raw = nullptr;
+  {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = bottleneck;
+    cfg.seed = 11;
+    exp::dumbbell d(cfg);
+    flid::flid_config fc = d.default_flid_config(exp::flid_mode::ds);
+    fc.session_id = 71;
+    fc.group_addr_base = 71'000;
+    const auto thresholds =
+        core::threshold_config::uniform(fc.num_groups, 0.25, fc.key_bits);
+
+    const auto src = d.net().add_host("tlm_src");
+    sim::link_config ac;
+    d.net().connect(src, d.left_router(), ac);
+    flid::flid_sender sender(d.net(), src, fc, cfg.seed);
+    auto bundle = core::make_tlm_sender(d.net(), src, sender, thresholds,
+                                        cfg.seed + 1);
+    sender.start(0);
+
+    const auto dst = d.net().add_host("tlm_rcv");
+    d.net().connect(d.right_router(), dst, ac);
+    auto strategy = std::make_unique<core::tlm_sigma_strategy>(thresholds);
+    strategy_raw = strategy.get();
+    flid::flid_receiver receiver(d.net(), dst, d.right_router(), fc,
+                                 std::move(strategy));
+    receiver.start(0);
+    d.run_until(sim::seconds(120.0));
+    tlm_kbps = receiver.monitor().average_kbps(sim::seconds(60.0),
+                                               sim::seconds(120.0));
+    tlm_level = receiver.level();
+
+    std::printf("400 Kbps bottleneck, identical topology and seed:\n\n");
+    std::printf("  protocol              level  goodput   congestion rule\n");
+    std::printf("  FLID-DS               %5d  %5.0f Kbps  one lost packet per slot\n",
+                flid_level, flid_kbps);
+    std::printf("  TLM (threshold 25%%)   %5d  %5.0f Kbps  loss rate above threshold\n",
+                tlm_level, tlm_kbps);
+    std::printf("\nTLM key enforcement this run: %llu level keys reconstructed, "
+                "%llu withheld by the share threshold.\n",
+                static_cast<unsigned long long>(
+                    strategy_raw->tlm_stats().levels_reconstructed),
+                static_cast<unsigned long long>(
+                    strategy_raw->tlm_stats().levels_denied_by_threshold));
+    std::printf("Both protocols ran over the *same* SIGMA edge router code —\n"
+                "the access-control plane never learns which congestion\n"
+                "control protocol it is guarding (paper Requirement 3).\n");
+  }
+  return 0;
+}

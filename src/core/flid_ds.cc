@@ -1,0 +1,326 @@
+#include "core/flid_ds.h"
+
+#include <algorithm>
+
+#include "crypto/oneway.h"
+
+namespace mcc::core {
+
+flid_ds_sender make_flid_ds_sender(sim::network& net, sim::node_id sender_host,
+                                   flid::flid_sender& sender,
+                                   std::uint64_t seed,
+                                   const sigma_emitter_config& emitter_cfg) {
+  const flid::flid_config& cfg = sender.config();
+  flid_ds_sender out;
+  out.delta = std::make_unique<delta_layered_sender>(
+      cfg.session_id, cfg.num_groups, cfg.key_bits, seed);
+  std::vector<sim::group_addr> groups;
+  for (int g = 1; g <= cfg.num_groups; ++g) groups.push_back(cfg.group(g));
+  out.emitter = std::make_unique<sigma_ctrl_emitter>(
+      net, sender_host, groups, cfg.slot_duration, cfg.key_bits, emitter_cfg);
+  out.emitter->attach(*out.delta);
+  sender.set_delta_hook(out.delta.get());
+  sender.set_sigma_tagging(true);
+  sender.set_sigma_protected(true);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// honest_sigma_strategy
+// ---------------------------------------------------------------------------
+
+honest_sigma_strategy::~honest_sigma_strategy() {
+  *alive_ = false;
+  if (net_ != nullptr && receiver_ != nullptr) {
+    net_->get(receiver_->host())->remove_agent(this);
+  }
+}
+
+void honest_sigma_strategy::attach(flid::flid_receiver& r) {
+  net_ = &r.net();
+  receiver_ = &r;
+  delta_ = std::make_unique<delta_layered_receiver>(r.config().num_groups);
+  net_->get(r.host())->add_agent(this);
+}
+
+void honest_sigma_strategy::session_start(flid::flid_receiver& r) {
+  attach(r);
+  r.set_local_level(1);
+  send_session_join();
+}
+
+crypto::group_key honest_sigma_strategy::maybe_perturb(
+    crypto::group_key k) const {
+  if (!interface_keying_) return k;
+  return crypto::perturb_for_interface(
+      k, static_cast<std::uint64_t>(receiver_->host()));
+}
+
+bool honest_sigma_strategy::handle_packet(const sim::packet& p, sim::link*) {
+  const auto* ack = sim::header_as<sim::sigma_ack>(p);
+  if (ack == nullptr) return false;
+  auto it = pending_.find(ack->msg_id);
+  if (it == pending_.end()) return false;
+  it->second.timer.cancel();
+  pending_.erase(it);
+  return true;
+}
+
+void honest_sigma_strategy::arm_retransmit(std::uint64_t msg_id) {
+  auto it = pending_.find(msg_id);
+  if (it == pending_.end()) return;
+  // Retransmit if the ack has not arrived within a conservative local RTT.
+  it->second.timer = net_->sched().after(
+      sim::milliseconds(100), [this, alive = alive_, msg_id] {
+        if (!*alive) return;
+        auto p = pending_.find(msg_id);
+        if (p == pending_.end()) return;
+        if (p->second.retries_left-- <= 0) {
+          pending_.erase(p);
+          return;
+        }
+        ++stats_.retransmits;
+        net_->get(receiver_->host())->send(p->second.pkt);
+        arm_retransmit(msg_id);
+      });
+}
+
+void honest_sigma_strategy::send_subscribe(
+    std::int64_t slot,
+    const std::vector<std::pair<sim::group_addr, crypto::group_key>>& pairs) {
+  if (pairs.empty()) return;
+  ++stats_.subscribes;
+  sim::sigma_subscribe msg;
+  msg.session_id = receiver_->config().session_id;
+  msg.slot = slot;
+  msg.pairs = pairs;
+  msg.msg_id = (static_cast<std::uint64_t>(receiver_->host()) << 32) |
+               next_msg_id_++;
+
+  sim::packet p;
+  // Figure 6(b): slot + per-group address-key pair.
+  p.size_bytes = 16 + static_cast<int>(pairs.size()) *
+                          (4 + receiver_->config().key_bits / 8);
+  p.dst = sim::dest::to_node(receiver_->edge_router());
+  p.hdr = msg;
+  pending_[msg.msg_id] = pending_msg{p, 2, {}};
+  net_->get(receiver_->host())->send(std::move(p));
+  arm_retransmit(msg.msg_id);
+}
+
+void honest_sigma_strategy::send_unsubscribe(
+    const std::vector<sim::group_addr>& groups) {
+  if (groups.empty()) return;
+  ++stats_.unsubscribes;
+  sim::sigma_unsubscribe msg;
+  msg.session_id = receiver_->config().session_id;
+  msg.groups = groups;
+  sim::packet p;
+  p.size_bytes = 16 + static_cast<int>(groups.size()) * 4;
+  p.dst = sim::dest::to_node(receiver_->edge_router());
+  p.hdr = std::move(msg);
+  net_->get(receiver_->host())->send(std::move(p));
+}
+
+void honest_sigma_strategy::send_session_join() {
+  ++stats_.session_joins;
+  last_session_join_ = net_->sched().now();
+  sim::sigma_session_join msg;
+  msg.session_id = receiver_->config().session_id;
+  msg.minimal_group = receiver_->config().group(1);
+  sim::packet p;
+  p.size_bytes = 20;
+  p.dst = sim::dest::to_node(receiver_->edge_router());
+  p.hdr = msg;
+  net_->get(receiver_->host())->send(std::move(p));
+}
+
+int honest_sigma_strategy::honest_action(flid::flid_receiver& r,
+                                         const flid::slot_summary& s) {
+  const flid::flid_config& cfg = r.config();
+  const sim::time_ns t = cfg.slot_duration;
+
+  // Nothing received over a full slot: either we just joined (grace period
+  // in progress) or the router cut us off. Re-enter via session-join after
+  // a cool-down of two slots without data.
+  bool any_packets = false;
+  for (int g = 1; g <= cfg.num_groups; ++g) {
+    if (s.groups[static_cast<std::size_t>(g)].received > 0) {
+      any_packets = true;
+      break;
+    }
+  }
+  if (!any_packets) {
+    ++empty_slots_;
+    if (empty_slots_ >= 2 &&
+        net_->sched().now() - last_session_join_ > 2 * t) {
+      ++stats_.cutoffs;
+      send_session_join();
+      empty_slots_ = 0;
+    }
+    return r.level();
+  }
+  empty_slots_ = 0;
+  if (s.level == 0) return r.level();  // partial first slot after a join
+
+  // Groups that were subscribed for the whole slot but delivered nothing are
+  // gone (the router withdrew them after an authorization lapse, or the
+  // branch broke): without their packets no key for them can ever be proved
+  // again, so fold the subscription down to the groups actually flowing and
+  // reconstruct relative to that level.
+  flid::slot_summary eff = s;
+  int effective = 0;
+  for (int g = 1; g <= s.level; ++g) {
+    if (s.groups[static_cast<std::size_t>(g)].received == 0) break;
+    effective = g;
+  }
+  if (effective < s.level) {
+    eff.level = effective;
+    eff.congested = false;
+    for (int g = 1; g <= effective; ++g) {
+      if (!eff.groups[static_cast<std::size_t>(g)].complete()) {
+        eff.congested = true;
+        break;
+      }
+    }
+    r.set_local_level(effective);
+  }
+
+  const delta_reconstruction rec = delta_->reconstruct(eff);
+  if (rec.next_level == 0) {
+    // Congested at the minimal level: no reconstructible keys, so the
+    // current authorization lapses after slot s+1. Request keyless
+    // re-admission right away; the grace window bridges the gap, and the
+    // next loss-free slot proves a fresh key (section 3.2.2).
+    ++stats_.cutoffs;
+    if (net_->sched().now() - last_session_join_ >= t) send_session_join();
+    return r.level();  // keep wanting the minimal level locally
+  }
+
+  // Submit the address-key pairs for slot s+2.
+  std::vector<std::pair<sim::group_addr, crypto::group_key>> pairs;
+  pairs.reserve(rec.keys.size());
+  for (const auto& [g, key] : rec.keys) {
+    pairs.emplace_back(cfg.group(g), maybe_perturb(key));
+  }
+  send_subscribe(s.slot + key_lead_slots, pairs);
+
+  // A group joined mid-slot has not completed a full slot yet, so the
+  // reconstruction is computed relative to eff.level < level(). While
+  // uncongested, keep the pending join — its first complete slot will prove
+  // its key, and the router's new-group grace bridges the gap (Figure 2).
+  int target = rec.next_level;
+  if (!eff.congested && r.level() > eff.level) {
+    target = std::max(target, r.level());
+  }
+
+  // Explicitly leave dropped groups for fast congestion relief (the paper's
+  // unsubscription message exists exactly "to leave groups even quicker").
+  if (target < r.level()) {
+    std::vector<sim::group_addr> dropped;
+    for (int g = target + 1; g <= r.level(); ++g) {
+      dropped.push_back(cfg.group(g));
+    }
+    send_unsubscribe(dropped);
+  }
+  r.set_local_level(target);
+  return target;
+}
+
+int honest_sigma_strategy::on_slot(flid::flid_receiver& r,
+                                   const flid::slot_summary& s) {
+  return honest_action(r, s);
+}
+
+// ---------------------------------------------------------------------------
+// misbehaving_sigma_strategy
+// ---------------------------------------------------------------------------
+
+misbehaving_sigma_strategy::misbehaving_sigma_strategy(sim::time_ns inflate_at,
+                                                       key_mode mode,
+                                                       std::uint64_t seed,
+                                                       int guesses_per_group)
+    : inflate_at_(inflate_at),
+      mode_(mode),
+      rng_(seed),
+      guesses_per_group_(guesses_per_group) {}
+
+int misbehaving_sigma_strategy::on_slot(flid::flid_receiver& r,
+                                        const flid::slot_summary& s) {
+  if (net_->sched().now() < inflate_at_) {
+    return honest_action(r, s);
+  }
+  ++attack_stats_.attack_slots;
+  const flid::flid_config& cfg = r.config();
+  const int n = cfg.num_groups;
+
+  // The attacker wants everything; locally subscribe to all groups so any
+  // packet that leaks through is consumed.
+  r.set_local_level(n);
+
+  // Best self-benefical play: reconstruct keys relative to what was actually
+  // received (the router-granted subscription), not the claimed level —
+  // otherwise the provable prefix shrinks every slot.
+  flid::slot_summary eff = s;
+  int achieved = 0;
+  for (int g = 1; g <= n; ++g) {
+    if (eff.groups[static_cast<std::size_t>(g)].received == 0) break;
+    achieved = g;
+  }
+  if (achieved == 0) {
+    // Fully cut off: keep hammering session-join (rate limited by router
+    // blocking) and guessing.
+    if (net_->sched().now() - last_session_join_ >= cfg.slot_duration) {
+      send_session_join();
+    }
+  }
+  eff.level = achieved;
+  eff.congested = false;
+  for (int g = 1; g <= achieved; ++g) {
+    if (!eff.groups[static_cast<std::size_t>(g)].complete()) {
+      eff.congested = true;
+      break;
+    }
+  }
+
+  std::vector<std::pair<sim::group_addr, crypto::group_key>> pairs;
+  int proven = 0;
+  if (achieved > 0) {
+    const delta_reconstruction rec = delta_->reconstruct(eff);
+    proven = rec.next_level;
+    for (const auto& [g, key] : rec.keys) {
+      pairs.emplace_back(cfg.group(g), key);
+      stale_keys_[g] = key;  // remember for replay
+    }
+    if (proven == 0 &&
+        net_->sched().now() - last_session_join_ >= cfg.slot_duration) {
+      // Congested even at the minimal level: ride keyless re-admission like
+      // an honest receiver would.
+      send_session_join();
+    }
+  }
+
+  // Inflation attempts for every group beyond the provable prefix.
+  for (int g = proven + 1; g <= n; ++g) {
+    if (mode_ == key_mode::replay) {
+      auto it = stale_keys_.find(g);
+      if (it != stale_keys_.end()) {
+        pairs.emplace_back(cfg.group(g), it->second);
+        ++attack_stats_.replayed_keys;
+      }
+    } else if (mode_ == key_mode::guess) {
+      for (int i = 0; i < guesses_per_group_; ++i) {
+        pairs.emplace_back(
+            cfg.group(g),
+            crypto::mask_to_bits(crypto::group_key{rng_.next()},
+                                 cfg.key_bits));
+        ++attack_stats_.guessed_keys;
+      }
+    }
+  }
+  if (!pairs.empty()) send_subscribe(s.slot + key_lead_slots, pairs);
+  // Never unsubscribe, never decrease: the receiver ignores congestion.
+  return n;
+}
+
+}  // namespace mcc::core

@@ -1,0 +1,140 @@
+// FLID-DS: FLID-DL integrated with DELTA and SIGMA (paper section 5.1).
+//
+// Sender side: flid_sender + delta_layered_sender (in-band key material) +
+// sigma_ctrl_emitter (key tuples to edge routers), with SIGMA shim tags on
+// data packets and 250 ms slots (half of FLID-DL's 500 ms so the two-slot
+// SIGMA enforcement granularity matches FLID-DL's control granularity).
+//
+// Receiver side: subscription strategies for flid_receiver that reconstruct
+// keys per Figure 4 and manage membership through SIGMA messages — an honest
+// strategy, and misbehaving strategies used in the Figure 7 experiments.
+#ifndef MCC_CORE_FLID_DS_H
+#define MCC_CORE_FLID_DS_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/delta_layered.h"
+#include "core/sigma_emitter.h"
+#include "crypto/prng.h"
+#include "flid/flid_receiver.h"
+#include "flid/flid_sender.h"
+
+namespace mcc::core {
+
+/// Everything the sender host runs for a FLID-DS session besides the FLID
+/// sender itself. Keep alive for the lifetime of the session.
+struct flid_ds_sender {
+  std::unique_ptr<delta_layered_sender> delta;
+  std::unique_ptr<sigma_ctrl_emitter> emitter;
+};
+
+/// Wires DELTA + SIGMA onto a flid_sender (must be called before start()).
+[[nodiscard]] flid_ds_sender make_flid_ds_sender(
+    sim::network& net, sim::node_id sender_host, flid::flid_sender& sender,
+    std::uint64_t seed, const sigma_emitter_config& emitter_cfg = {});
+
+/// Honest FLID-DS receiver strategy: per evaluated slot, reconstruct keys
+/// (Figure 4), subscribe for slot s+2 with the address-key pairs, leave
+/// dropped groups explicitly, and re-enter through session-join when cut off
+/// at the minimal level.
+class honest_sigma_strategy : public flid::subscription_strategy,
+                              public sim::agent {
+ public:
+  honest_sigma_strategy() = default;
+  ~honest_sigma_strategy() override;
+
+  void session_start(flid::flid_receiver& r) override;
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override;
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+
+  /// Collusion countermeasure mode: perturb reconstructed keys with the
+  /// receiving host id before submission (must match the router setting).
+  void set_interface_keying(bool on) { interface_keying_ = on; }
+
+  struct counters {
+    std::uint64_t subscribes = 0;
+    std::uint64_t unsubscribes = 0;
+    std::uint64_t session_joins = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t cutoffs = 0;  // congested at level 1, keys lost
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ protected:
+  /// Shared mechanics for subclasses (the misbehaving strategy reuses the
+  /// honest machinery but lies about its subscription decisions).
+  void attach(flid::flid_receiver& r);
+  void send_subscribe(
+      std::int64_t slot,
+      const std::vector<std::pair<sim::group_addr, crypto::group_key>>& pairs);
+  void send_unsubscribe(const std::vector<sim::group_addr>& groups);
+  void send_session_join();
+  /// The honest per-slot action; returns the new level.
+  int honest_action(flid::flid_receiver& r, const flid::slot_summary& s);
+  [[nodiscard]] crypto::group_key maybe_perturb(crypto::group_key k) const;
+
+  sim::network* net_ = nullptr;
+  flid::flid_receiver* receiver_ = nullptr;
+  std::unique_ptr<delta_layered_receiver> delta_;
+  bool interface_keying_ = false;
+  std::uint64_t next_msg_id_ = 1;
+  sim::time_ns last_session_join_ = -1;
+  std::int64_t empty_slots_ = 0;
+
+  struct pending_msg {
+    sim::packet pkt;
+    int retries_left = 2;
+    sim::event_handle timer;
+  };
+  std::map<std::uint64_t, pending_msg> pending_;
+  /// Liveness token for scheduled lambdas (retransmits, deferred rejoins).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  counters stats_;
+
+ private:
+  void arm_retransmit(std::uint64_t msg_id);
+};
+
+/// Misbehaving FLID-DS receiver: honest until `inflate_at`, then claims the
+/// maximal subscription level regardless of congestion. For groups it cannot
+/// prove keys for, it optionally replays stale keys or floods random guesses
+/// (section 4.2's guessing attack). DELTA/SIGMA confine it to the
+/// subscription its congestion state entitles it to (Figure 7).
+class misbehaving_sigma_strategy : public honest_sigma_strategy {
+ public:
+  enum class key_mode {
+    best_effort,  // submit only honestly reconstructible keys
+    replay,       // add stale keys remembered from earlier slots
+    guess,        // add random keys for unproven groups
+  };
+
+  misbehaving_sigma_strategy(sim::time_ns inflate_at, key_mode mode,
+                             std::uint64_t seed, int guesses_per_group = 8);
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override;
+
+  struct attack_counters {
+    std::uint64_t guessed_keys = 0;
+    std::uint64_t replayed_keys = 0;
+    std::uint64_t attack_slots = 0;
+  };
+  [[nodiscard]] const attack_counters& attack_stats() const {
+    return attack_stats_;
+  }
+
+ private:
+  sim::time_ns inflate_at_;
+  key_mode mode_;
+  crypto::prng rng_;
+  int guesses_per_group_;
+  // Last key successfully reconstructed per group (for replay).
+  std::map<int, crypto::group_key> stale_keys_;
+  attack_counters attack_stats_;
+};
+
+}  // namespace mcc::core
+
+#endif  // MCC_CORE_FLID_DS_H

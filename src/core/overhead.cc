@@ -1,0 +1,27 @@
+#include "core/overhead.h"
+
+#include "util/require.h"
+
+namespace mcc::core {
+
+double delta_overhead(const overhead_params& p) {
+  util::require(p.session_rate_bps > 0 && p.base_rate_bps > 0,
+                "delta_overhead: rates must be positive");
+  // (2P - p) * b / (R t) with P = R t / s and p = r t / s reduces to:
+  const double m_pow = p.session_rate_bps / p.base_rate_bps;  // m^(N-1)
+  return (2.0 - 1.0 / m_pow) * static_cast<double>(p.key_bits) /
+         static_cast<double>(p.packet_data_bits);
+}
+
+double sigma_overhead(const overhead_params& p) {
+  util::require(p.slot_seconds > 0, "sigma_overhead: slot must be positive");
+  const double n = static_cast<double>(p.num_groups);
+  const double b = static_cast<double>(p.key_bits);
+  const double tuple_bits = static_cast<double>(p.slot_number_bits) +
+                            32.0 * n +
+                            b * (2.0 * n - 1.0 + p.sum_upgrade_freq);
+  return (tuple_bits * p.fec_expansion + p.header_bits_per_slot) /
+         (p.session_rate_bps * p.slot_seconds);
+}
+
+}  // namespace mcc::core

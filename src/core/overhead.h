@@ -1,0 +1,38 @@
+// Closed-form communication-overhead model of paper section 5.4.
+//
+// DELTA adds a b-bit component field to every packet and a b-bit decrease
+// field to packets of groups 2..N:
+//     O_Delta = (2 - 1/m^(N-1)) * b / s        with m^(N-1) = R / r.
+//
+// SIGMA's special packets carry, per time slot, an l-bit slot number and one
+// address-key tuple per group (32-bit address, b-bit top key, b-bit decrease
+// key for groups 1..N-1, b-bit increase key with frequency f_g), expanded by
+// the FEC factor z, plus h header bits:
+//     O_Sigma = ((l + 32 N + b (2N - 1 + sum_g f_g)) z + h) / (r t m^(N-1)).
+#ifndef MCC_CORE_OVERHEAD_H
+#define MCC_CORE_OVERHEAD_H
+
+namespace mcc::core {
+
+struct overhead_params {
+  int num_groups = 10;           // N
+  double base_rate_bps = 100e3;  // r  (minimal group rate)
+  double session_rate_bps = 4e6; // R  (cumulative rate; R/r = m^(N-1))
+  int packet_data_bits = 4000;   // s  (500-byte data payload)
+  int key_bits = 16;             // b
+  int slot_number_bits = 8;      // l
+  double slot_seconds = 0.25;    // t
+  double fec_expansion = 2.0;    // z  (overcomes 50% loss)
+  double header_bits_per_slot = 0.0;  // h (total special-packet headers)
+  double sum_upgrade_freq = 0.0;      // sum over g = 2..N of f_g
+};
+
+/// Ratio of DELTA field bits to data bits.
+[[nodiscard]] double delta_overhead(const overhead_params& p);
+
+/// Ratio of SIGMA special-packet bits to data bits.
+[[nodiscard]] double sigma_overhead(const overhead_params& p);
+
+}  // namespace mcc::core
+
+#endif  // MCC_CORE_OVERHEAD_H

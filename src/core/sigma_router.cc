@@ -1,0 +1,343 @@
+#include "core/sigma_router.h"
+
+#include <algorithm>
+
+#include "crypto/oneway.h"
+#include "util/logging.h"
+
+namespace mcc::core {
+
+namespace {
+/// Slots of key/shard history kept before garbage collection.
+constexpr std::int64_t history_slots = 8;
+}  // namespace
+
+sigma_router_agent::sigma_router_agent(sim::network& net, sim::node_id router,
+                                       mcast::igmp_agent& tree)
+    : net_(net), router_(router), tree_(tree) {
+  sim::node* r = net_.get(router_);
+  r->add_agent(this);
+  r->set_alert_interceptor(this);
+  r->set_access_policy(this);
+}
+
+bool sigma_router_agent::handle_packet(const sim::packet& p,
+                                       sim::link* arrival) {
+  if (const auto* ctrl = sim::header_as<sim::sigma_ctrl>(p)) {
+    on_ctrl(*ctrl);
+    return true;
+  }
+  // Management messages arrive unicast from a local host interface.
+  sim::link* iface = arrival != nullptr ? arrival->reverse() : nullptr;
+  if (iface == nullptr || !iface->to()->is_host()) return false;
+  if (const auto* sub = sim::header_as<sim::sigma_subscribe>(p)) {
+    on_subscribe(*sub, iface, p.src);
+    return true;
+  }
+  if (const auto* unsub = sim::header_as<sim::sigma_unsubscribe>(p)) {
+    on_unsubscribe(*unsub, iface);
+    return true;
+  }
+  if (const auto* join = sim::header_as<sim::sigma_session_join>(p)) {
+    on_session_join(*join, iface);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane: key distribution to the router
+// ---------------------------------------------------------------------------
+
+void sigma_router_agent::on_ctrl(const sim::sigma_ctrl& hdr) {
+  ++stats_.ctrl_shards;
+  session_state& sess = sessions_[hdr.session_id];
+  sess.slot_duration = hdr.slot_duration;
+  sess.max_seen_slot = std::max(sess.max_seen_slot, hdr.emitted_slot);
+
+  shard_buffer& buf = sess.shards[hdr.target_slot];
+  if (buf.decoded) return;
+  buf.data_shards = hdr.data_shards;
+  buf.payload_size = hdr.payload_size;
+  buf.received.push_back(
+      crypto::indexed_shard{hdr.shard_index, hdr.shard_bytes});
+  if (static_cast<int>(buf.received.size()) >= hdr.data_shards) {
+    try_decode(hdr.session_id, hdr.target_slot);
+  }
+}
+
+void sigma_router_agent::try_decode(int session_id, std::int64_t target_slot) {
+  session_state& sess = sessions_[session_id];
+  shard_buffer& buf = sess.shards[target_slot];
+  if (buf.decoded || buf.received.empty()) return;
+
+  // The decoder only needs the generator rows for the received parity
+  // indices, which rs_code derives from (k, m); construct with a parity count
+  // covering the largest index seen.
+  int max_index = 0;
+  for (const auto& s : buf.received) max_index = std::max(max_index, s.index);
+  const crypto::rs_code decoder(buf.data_shards,
+                                std::max(0, max_index - buf.data_shards + 1));
+  auto data = decoder.decode(buf.received);
+  if (!data.has_value()) return;
+  const auto payload = crypto::join_shards(*data, buf.payload_size);
+  auto block = deserialize_key_block(payload);
+  if (!block.has_value()) return;
+
+  buf.decoded = true;
+  buf.received.clear();
+  ++stats_.blocks_decoded;
+  auto& store = sess.keys_by_slot[block->target_slot];
+  for (const auto& [group, tuple] : block->entries) {
+    store[group.value] = tuple;
+  }
+
+  // Garbage-collect old slots.
+  while (!sess.keys_by_slot.empty() &&
+         sess.keys_by_slot.begin()->first < target_slot - history_slots) {
+    sess.keys_by_slot.erase(sess.keys_by_slot.begin());
+  }
+  while (!sess.shards.empty() &&
+         sess.shards.begin()->first < target_slot - history_slots) {
+    sess.shards.erase(sess.shards.begin());
+  }
+
+  // Re-validate subscriptions that raced ahead of their tuple block.
+  auto pending_it = pending_.find({session_id, block->target_slot});
+  if (pending_it != pending_.end()) {
+    auto work = std::move(pending_it->second);
+    pending_.erase(pending_it);
+    for (const auto& sub : work) {
+      const key_tuple* t =
+          tuple_for(session_id, block->target_slot, sub.group_value);
+      if (t != nullptr && t->matches(sub.key)) {
+        ++stats_.valid_keys;
+        grant(session_id, sub.iface, sub.group_value, block->target_slot);
+      } else {
+        ++stats_.invalid_keys;
+        ++guess_tally_[sub.iface];
+      }
+    }
+  }
+}
+
+const key_tuple* sigma_router_agent::tuple_for(int session_id,
+                                               std::int64_t slot,
+                                               int group_value) const {
+  auto sess = sessions_.find(session_id);
+  if (sess == sessions_.end()) return nullptr;
+  auto by_slot = sess->second.keys_by_slot.find(slot);
+  if (by_slot == sess->second.keys_by_slot.end()) return nullptr;
+  auto t = by_slot->second.find(group_value);
+  return t == by_slot->second.end() ? nullptr : &t->second;
+}
+
+// ---------------------------------------------------------------------------
+// Management-plane: receiver messages (Figure 6)
+// ---------------------------------------------------------------------------
+
+void sigma_router_agent::on_subscribe(const sim::sigma_subscribe& msg,
+                                      sim::link* iface, sim::node_id from) {
+  ++stats_.subscribe_msgs;
+  session_state& sess = sessions_[msg.session_id];
+  for (const auto& [group, key] : msg.pairs) {
+    const crypto::group_key submitted = key;
+    const key_tuple* tuple = tuple_for(msg.session_id, msg.slot, group.value);
+    if (tuple == nullptr) {
+      // Tuple block not decoded yet (or control packets still in flight):
+      // park the request; it is re-validated on decode.
+      if (msg.slot >= sess.max_seen_slot) {
+        ++stats_.pending_subscriptions;
+        pending_[{msg.session_id, msg.slot}].push_back(
+            pending_subscription{iface, group.value, submitted});
+      } else {
+        ++stats_.invalid_keys;
+      }
+      continue;
+    }
+    bool ok;
+    if (interface_keying_) {
+      // Interface identity = the attached host (one receiver host per
+      // interface in our topologies); receivers apply the same perturbation
+      // to the keys they reconstruct.
+      const auto iface_id =
+          static_cast<std::uint64_t>(iface->to()->id());
+      key_tuple perturbed;
+      perturbed.top = crypto::perturb_for_interface(tuple->top, iface_id);
+      if (tuple->dec) {
+        perturbed.dec = crypto::perturb_for_interface(*tuple->dec, iface_id);
+      }
+      if (tuple->inc) {
+        perturbed.inc = crypto::perturb_for_interface(*tuple->inc, iface_id);
+      }
+      ok = perturbed.matches(submitted);
+    } else {
+      ok = tuple->matches(submitted);
+    }
+    if (ok) {
+      ++stats_.valid_keys;
+      grant(msg.session_id, iface, group.value, msg.slot);
+    } else {
+      ++stats_.invalid_keys;
+      ++guess_tally_[iface];
+    }
+  }
+  // Acknowledge receipt (paper: "the edge router acknowledges each
+  // subscription message").
+  sim::packet ack;
+  ack.size_bytes = 40;
+  ack.dst = sim::dest::to_node(from);
+  ack.hdr = sim::sigma_ack{msg.msg_id};
+  net_.get(router_)->send(std::move(ack));
+}
+
+void sigma_router_agent::grant(int, sim::link* iface, int group_value,
+                               std::int64_t slot) {
+  iface_group_state& st = ifaces_[iface][group_value];
+  st.authorized_until = std::max(st.authorized_until, slot);
+  st.probation = false;
+  st.blocked_until = -1;  // a valid key re-proves eligibility
+  if (!st.grafted) {
+    tree_.join(sim::group_addr{group_value}, iface);
+    st.grafted = true;
+    // New group on this interface: unconditional forwarding for two complete
+    // slots once its packets arrive (section 3.2.2).
+    st.awaiting_first_packet = true;
+  }
+}
+
+void sigma_router_agent::ungraft(int group_value, sim::link* iface,
+                                 iface_group_state& st) {
+  if (st.grafted) {
+    tree_.leave(sim::group_addr{group_value}, iface);
+    st.grafted = false;
+  }
+  st.grace_through_slot = -1;
+  st.awaiting_first_packet = false;
+}
+
+void sigma_router_agent::on_unsubscribe(const sim::sigma_unsubscribe& msg,
+                                        sim::link* iface) {
+  ++stats_.unsubscribes;
+  for (sim::group_addr g : msg.groups) {
+    auto by_iface = ifaces_.find(iface);
+    if (by_iface == ifaces_.end()) continue;
+    auto st = by_iface->second.find(g.value);
+    if (st == by_iface->second.end()) continue;
+    ungraft(g.value, iface, st->second);
+    by_iface->second.erase(st);
+  }
+}
+
+void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
+                                         sim::link* iface) {
+  const sim::session_announcement* ann = net_.find_session(msg.session_id);
+  if (ann == nullptr || ann->groups.empty() ||
+      !(msg.minimal_group == ann->groups.front())) {
+    // Unknown session, or the receiver lied about which group is minimal
+    // (claiming a high-rate group would turn keyless admission into a
+    // bandwidth attack).
+    ++stats_.session_joins_refused;
+    return;
+  }
+  const int minimal = ann->groups.front().value;
+  iface_group_state& st = ifaces_[iface][minimal];
+  session_state& sess = sessions_[msg.session_id];
+  if (st.blocked_until >= 0 && net_.sched().now() < st.blocked_until) {
+    // Still serving the >= 1 slot cutoff for failing to present a key.
+    ++stats_.session_joins_refused;
+    return;
+  }
+  if (st.grafted && st.authorized_until > sess.max_seen_slot + 1) {
+    return;  // already a member in good standing; nothing to do
+  }
+  // Fresh keyless admission (or re-admission after an authorization gap):
+  // unrestricted access to the minimal group for two complete slots; failing
+  // to present a valid key within the window leads to a >= one-slot cutoff.
+  // A receiver cannot ride repeated session-joins to uninterrupted keyless
+  // access — each grace window ends in probation (section 3.2.2).
+  ++stats_.session_joins;
+  if (!st.grafted) {
+    tree_.join(sim::group_addr{minimal}, iface);
+    st.grafted = true;
+  }
+  st.awaiting_first_packet = true;
+  st.probation = true;
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane enforcement
+// ---------------------------------------------------------------------------
+
+bool sigma_router_agent::allow(sim::packet& p, sim::link* oif) {
+  if (!p.dst.is_multicast()) return true;
+  const sim::group_addr group = p.dst.group();
+  if (!net_.is_sigma_protected(group)) return true;  // not ours to guard
+  if (!p.tag.has_value()) {
+    // Protected group without a shim tag: not a SIGMA-enabled sender's
+    // packet; refuse.
+    ++stats_.denied;
+    return false;
+  }
+  const std::int64_t slot = p.tag->slot;
+  session_state& sess = sessions_[p.tag->session_id];
+  if (sess.slot_duration == 0) {
+    if (const auto* ann = net_.find_session(p.tag->session_id)) {
+      sess.slot_duration = ann->slot_duration;
+    }
+  }
+  sess.max_seen_slot = std::max(sess.max_seen_slot, slot);
+
+  iface_group_state& st = ifaces_[oif][group.value];
+  if (st.awaiting_first_packet) {
+    // First packet of a newly added group: grace covers this slot and the
+    // two complete slots after it — exactly the window until keys harvested
+    // from the first complete slot become usable (Figure 2).
+    st.awaiting_first_packet = false;
+    st.grace_through_slot = slot + key_lead_slots;
+  }
+  if (st.blocked_until >= 0 && net_.sched().now() < st.blocked_until) {
+    ++stats_.denied;
+    return false;
+  }
+  const bool allowed =
+      slot <= st.grace_through_slot || slot <= st.authorized_until;
+  if (allowed) {
+    if (slot > st.authorized_until) {
+      ++stats_.grace_forwards;
+    } else {
+      ++stats_.authorized_forwards;
+    }
+    if (ecn_scrub_ && p.ecn_marked) {
+      if (auto* hdr = sim::header_as<sim::flid_data>(p)) {
+        // Invalidate the component so ineligible receivers cannot
+        // reconstruct the group key from marked packets (section 3.1.2).
+        hdr->component = crypto::group_key{crypto::oneway_mix(p.uid)};
+        hdr->component_scrubbed = true;
+      }
+    }
+    return true;
+  }
+  ++stats_.denied;
+  if (st.probation) {
+    // Keyless admission expired without a valid key: stop forwarding for at
+    // least one time slot (section 3.2.2) and prune the branch.
+    st.blocked_until = net_.sched().now() + sess.slot_duration;
+    st.probation = false;
+    ++stats_.probation_blocks;
+    ungraft(group.value, oif, st);
+  } else if (slot > st.authorized_until + 1) {
+    // Authorization stale by more than a full slot: the receiver is gone or
+    // ineligible; prune so the traffic stops crossing the bottleneck.
+    ++stats_.stale_prunes;
+    ungraft(group.value, oif, st);
+  }
+  return false;
+}
+
+std::uint64_t sigma_router_agent::guess_tally(sim::link* iface) const {
+  auto it = guess_tally_.find(iface);
+  return it == guess_tally_.end() ? 0 : it->second;
+}
+
+}  // namespace mcc::core

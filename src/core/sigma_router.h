@@ -1,0 +1,138 @@
+// SIGMA edge-router agent (paper section 3.2): key-based group access
+// control that is independent of the protected congestion control protocol.
+//
+// The agent plays three roles on its router:
+//   * router-alert interceptor: collects FEC shards of address-key tuple
+//     blocks from special packets and decodes them into the key store;
+//   * management endpoint: handles session-join / subscription /
+//     unsubscription messages from local receivers (Figure 6), validating
+//     submitted keys against the store and (un)grafting the multicast tree;
+//   * access policy: per-packet enforcement on host-facing interfaces — a
+//     data packet tagged with slot x is forwarded iff the interface holds an
+//     authorization for slot >= x or a grace window applies (two complete
+//     slots after a newly added group's packets arrive, same for keyless
+//     session-join admission).
+//
+// Enforcement reads only the protocol-independent shim tag (session, slot)
+// and SIGMA's own messages — never the congestion-control headers
+// (Requirement 3). The optional ECN mode scrubs component fields of marked
+// packets (section 3.1.2), and the optional collusion countermeasure
+// perturbs forwarded components per interface (section 4.2).
+#ifndef MCC_CORE_SIGMA_ROUTER_H
+#define MCC_CORE_SIGMA_ROUTER_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/sigma_wire.h"
+#include "crypto/rs_code.h"
+#include "mcast/igmp.h"
+#include "sim/network.h"
+
+namespace mcc::core {
+
+class sigma_router_agent : public sim::agent, public sim::access_policy {
+ public:
+  /// Attaches to `router` as agent, alert interceptor and access policy.
+  /// `tree` is the router's IGMP agent, reused for graft/prune mechanics.
+  sigma_router_agent(sim::network& net, sim::node_id router,
+                     mcast::igmp_agent& tree);
+
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+  bool allow(sim::packet& p, sim::link* oif) override;
+
+  /// DELTA ECN variant: invalidate component fields of ECN-marked packets
+  /// before they reach receivers.
+  void set_ecn_scrub(bool on) { ecn_scrub_ = on; }
+  /// Collusion countermeasure sketch of section 4.2 (interface-specific key
+  /// perturbation). Off by default; exercised in tests/ablations.
+  void set_interface_keying(bool on) { interface_keying_ = on; }
+
+  struct counters {
+    std::uint64_t ctrl_shards = 0;
+    std::uint64_t blocks_decoded = 0;
+    std::uint64_t subscribe_msgs = 0;
+    std::uint64_t valid_keys = 0;
+    std::uint64_t invalid_keys = 0;
+    std::uint64_t session_joins = 0;
+    std::uint64_t session_joins_refused = 0;
+    std::uint64_t unsubscribes = 0;
+    std::uint64_t grace_forwards = 0;
+    std::uint64_t authorized_forwards = 0;
+    std::uint64_t denied = 0;
+    std::uint64_t probation_blocks = 0;
+    std::uint64_t stale_prunes = 0;
+    std::uint64_t pending_subscriptions = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+  /// Distinct invalid keys submitted for a group on an interface this slot —
+  /// the guessing-attack tally of paper section 4.2.
+  [[nodiscard]] std::uint64_t guess_tally(sim::link* iface) const;
+
+ private:
+  struct shard_buffer {
+    int data_shards = 0;
+    std::size_t payload_size = 0;
+    std::vector<crypto::indexed_shard> received;
+    bool decoded = false;
+  };
+
+  struct session_state {
+    sim::time_ns slot_duration = 0;
+    std::int64_t max_seen_slot = -1;
+    std::map<std::int64_t, std::map<int, key_tuple>> keys_by_slot;
+    std::map<std::int64_t, shard_buffer> shards;
+  };
+
+  struct iface_group_state {
+    std::int64_t authorized_until = -1;
+    std::int64_t grace_through_slot = -1;
+    bool awaiting_first_packet = false;
+    /// Admitted keylessly (session-join); must prove a key before the grace
+    /// window closes or be cut off for at least one slot.
+    bool probation = false;
+    /// Cutoff deadline in absolute time (a pruned branch stops delivering
+    /// packets, so slot numbers would freeze; wall-clock keeps the ">= one
+    /// time slot" cutoff of section 3.2.2 well-defined).
+    sim::time_ns blocked_until = -1;
+    bool grafted = false;
+  };
+
+  struct pending_subscription {
+    sim::link* iface;
+    int group_value;
+    crypto::group_key key;
+  };
+
+  void on_ctrl(const sim::sigma_ctrl& hdr);
+  void on_subscribe(const sim::sigma_subscribe& msg, sim::link* iface,
+                    sim::node_id from);
+  void on_unsubscribe(const sim::sigma_unsubscribe& msg, sim::link* iface);
+  void on_session_join(const sim::sigma_session_join& msg, sim::link* iface);
+  void try_decode(int session_id, std::int64_t target_slot);
+  void grant(int session_id, sim::link* iface, int group_value,
+             std::int64_t slot);
+  void ungraft(int group_value, sim::link* iface, iface_group_state& st);
+  [[nodiscard]] const key_tuple* tuple_for(int session_id, std::int64_t slot,
+                                           int group_value) const;
+
+  sim::network& net_;
+  sim::node_id router_;
+  mcast::igmp_agent& tree_;
+  bool ecn_scrub_ = false;
+  bool interface_keying_ = false;
+  std::map<int, session_state> sessions_;
+  std::map<sim::link*, std::map<int, iface_group_state>> ifaces_;
+  // (session, slot) -> subscriptions waiting for their tuple block.
+  std::map<std::pair<int, std::int64_t>, std::vector<pending_subscription>>
+      pending_;
+  // Guessing-attack tallies: distinct invalid keys per interface.
+  std::map<sim::link*, std::uint64_t> guess_tally_;
+  counters stats_;
+};
+
+}  // namespace mcc::core
+
+#endif  // MCC_CORE_SIGMA_ROUTER_H

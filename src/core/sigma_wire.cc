@@ -1,0 +1,149 @@
+#include "core/sigma_wire.h"
+
+#include "util/require.h"
+
+namespace mcc::core {
+
+namespace {
+
+class byte_writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void key(crypto::group_key k, int bits) {
+    for (int i = 0; i < bits / 8; ++i) {
+      u8(static_cast<std::uint8_t>(k.value >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class byte_reader {
+ public:
+  explicit byte_reader(std::span<const std::uint8_t> in) : in_(in) {}
+  [[nodiscard]] bool ok() const { return ok_; }
+  std::uint8_t u8() {
+    if (pos_ >= in_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return in_[pos_++];
+  }
+  std::uint16_t u16() {
+    const auto lo = u8();
+    const auto hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  crypto::group_key key(int bits) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < bits / 8; ++i) {
+      v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    }
+    return crypto::group_key{v};
+  }
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+constexpr std::uint8_t flag_has_dec = 0x1;
+constexpr std::uint8_t flag_has_inc = 0x2;
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const sigma_key_block& b) {
+  util::require(b.key_bits == 16 || b.key_bits == 32 || b.key_bits == 64,
+                "sigma serialize: unsupported key width");
+  byte_writer w;
+  w.u32(static_cast<std::uint32_t>(b.session_id));
+  w.u64(static_cast<std::uint64_t>(b.target_slot));
+  w.u64(static_cast<std::uint64_t>(b.slot_duration));
+  w.u8(static_cast<std::uint8_t>(b.key_bits));
+  w.u16(static_cast<std::uint16_t>(b.entries.size()));
+  for (const auto& [group, tuple] : b.entries) {
+    w.u32(static_cast<std::uint32_t>(group.value));
+    std::uint8_t flags = 0;
+    if (tuple.dec.has_value()) flags |= flag_has_dec;
+    if (tuple.inc.has_value()) flags |= flag_has_inc;
+    w.u8(flags);
+    w.key(tuple.top, b.key_bits);
+    if (tuple.dec.has_value()) w.key(*tuple.dec, b.key_bits);
+    if (tuple.inc.has_value()) w.key(*tuple.inc, b.key_bits);
+  }
+  return w.take();
+}
+
+std::optional<sigma_key_block> deserialize_key_block(
+    std::span<const std::uint8_t> bytes) {
+  byte_reader r(bytes);
+  sigma_key_block b;
+  b.session_id = static_cast<int>(r.u32());
+  b.target_slot = static_cast<std::int64_t>(r.u64());
+  b.slot_duration = static_cast<sim::time_ns>(r.u64());
+  b.key_bits = r.u8();
+  if (b.key_bits != 16 && b.key_bits != 32 && b.key_bits != 64) {
+    return std::nullopt;
+  }
+  const int count = r.u16();
+  for (int i = 0; i < count; ++i) {
+    sim::group_addr g{static_cast<int>(r.u32())};
+    const std::uint8_t flags = r.u8();
+    key_tuple t;
+    t.top = r.key(b.key_bits);
+    if (flags & flag_has_dec) t.dec = r.key(b.key_bits);
+    if (flags & flag_has_inc) t.inc = r.key(b.key_bits);
+    if (!r.ok()) return std::nullopt;
+    b.entries.emplace_back(g, t);
+  }
+  if (!r.ok()) return std::nullopt;
+  return b;
+}
+
+sigma_key_block block_from_keys(const delta_slot_keys& keys,
+                                const std::vector<sim::group_addr>& groups,
+                                sim::time_ns slot_duration, int key_bits) {
+  const int n = keys.num_groups();
+  util::require(static_cast<int>(groups.size()) == n,
+                "block_from_keys: group list size mismatch");
+  sigma_key_block b;
+  b.session_id = keys.session_id;
+  b.target_slot = keys.target_slot;
+  b.slot_duration = slot_duration;
+  b.key_bits = key_bits;
+  for (int g = 1; g <= n; ++g) {
+    key_tuple t;
+    t.top = keys.top[static_cast<std::size_t>(g)];
+    if (g <= n - 1) t.dec = keys.decrease[static_cast<std::size_t>(g)];
+    if (g >= 2) t.inc = keys.increase[static_cast<std::size_t>(g)];
+    b.entries.emplace_back(groups[static_cast<std::size_t>(g - 1)], t);
+  }
+  return b;
+}
+
+}  // namespace mcc::core

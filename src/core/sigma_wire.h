@@ -1,0 +1,55 @@
+// SIGMA data structures and the serialization of address-key tuple blocks
+// carried by special packets (paper section 3.2.1: "tuples bind the address
+// of each group with the keys for accessing the group during a time slot").
+#ifndef MCC_CORE_SIGMA_WIRE_H
+#define MCC_CORE_SIGMA_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/delta_layered.h"
+#include "crypto/key.h"
+#include "sim/time.h"
+#include "sim/wire.h"
+
+namespace mcc::core {
+
+/// The up-to-three keys guarding one group for one slot; any match grants
+/// access (paper section 3.1.1: "any of these keys opens access").
+struct key_tuple {
+  crypto::group_key top;
+  std::optional<crypto::group_key> dec;
+  std::optional<crypto::group_key> inc;
+
+  [[nodiscard]] bool matches(crypto::group_key k) const {
+    return k == top || (dec.has_value() && k == *dec) ||
+           (inc.has_value() && k == *inc);
+  }
+};
+
+/// One slot's worth of tuples for a session, as shipped to edge routers.
+struct sigma_key_block {
+  int session_id = 0;
+  std::int64_t target_slot = 0;
+  sim::time_ns slot_duration = 0;
+  int key_bits = 16;
+  std::vector<std::pair<sim::group_addr, key_tuple>> entries;
+};
+
+/// Byte-exact serialization (the FEC input). Key values are truncated to
+/// key_bits on the wire, exactly as a real implementation would transmit
+/// b-bit keys (paper evaluates b = 16).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const sigma_key_block& b);
+[[nodiscard]] std::optional<sigma_key_block> deserialize_key_block(
+    std::span<const std::uint8_t> bytes);
+
+/// Builds the tuple block for one slot from the layered DELTA key set.
+[[nodiscard]] sigma_key_block block_from_keys(
+    const delta_slot_keys& keys, const std::vector<sim::group_addr>& groups,
+    sim::time_ns slot_duration, int key_bits);
+
+}  // namespace mcc::core
+
+#endif  // MCC_CORE_SIGMA_WIRE_H

@@ -1,0 +1,120 @@
+// TLM — threshold layered multicast: an RLM/WEBRC-style protocol protected
+// by the threshold DELTA instantiation (paper section 3.1.2, "Congested
+// state"), running over the same SIGMA infrastructure as FLID-DS.
+//
+// A receiver of subscription level g is congested only when its loss rate
+// over the slot exceeds the level's threshold (RLM default 0.25; WEBRC-style
+// configs lower the threshold per level). DELTA enforces the rule
+// cryptographically: the key for level g is Shamir-shared across all n_g
+// packets transmitted to the level (groups 1..g) with reconstruction
+// threshold k_g = ceil((1 - threshold_g) * n_g); a receiver above the
+// tolerated loss rate simply lacks the shares.
+//
+// As the paper notes, Shamir's scheme cannot reuse lower-level components in
+// cumulative sessions, so a packet of group j carries one share for EVERY
+// level j..N — a real per-packet cost (see ablation_threshold_overhead)
+// that the paper flags as an open problem.
+//
+// Upgrades (rule 3 of section 3.1) use an increase key derived one-way from
+// the level below: iota_{g+1} = H(kappa_g), computable by any receiver that
+// proved level g, invertible by nobody.
+//
+// Edge routers are untouched: tuples carry top and increase keys that SIGMA
+// validates exactly as it does FLID-DS keys (Requirement 3).
+#ifndef MCC_CORE_TLM_H
+#define MCC_CORE_TLM_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/delta_threshold.h"
+#include "core/flid_ds.h"
+#include "core/sigma_emitter.h"
+#include "crypto/prng.h"
+#include "crypto/shamir.h"
+#include "flid/flid_receiver.h"
+#include "flid/flid_sender.h"
+
+namespace mcc::core {
+
+/// Sender-side hook: plugs into flid_sender like the layered DELTA hook, but
+/// fills per-packet Shamir shares instead of XOR components.
+class tlm_delta_sender : public flid::delta_sender_hook {
+ public:
+  tlm_delta_sender(int session_id, const threshold_config& cfg,
+                   std::vector<sim::group_addr> groups,
+                   sim::time_ns slot_duration, std::uint64_t seed);
+
+  /// Key tuples (top keys only) go to edge routers through this emitter.
+  void set_emitter(sigma_ctrl_emitter* emitter) { emitter_ = emitter; }
+
+  void begin_slot(std::int64_t slot, std::uint32_t auth_mask,
+                  const std::vector<int>& packets_per_group) override;
+  void fill_fields(std::int64_t slot, int group, int seq_in_slot,
+                   bool last_in_slot, sim::flid_data& hdr) override;
+
+  /// The key guarding level `g` during `target_slot` (for tests).
+  [[nodiscard]] std::optional<crypto::group_key> key_for(
+      std::int64_t target_slot, int level) const;
+  /// Reconstruction threshold k_g of the current slot.
+  [[nodiscard]] int threshold_for(int level) const {
+    return k_[static_cast<std::size_t>(level)];
+  }
+  [[nodiscard]] const threshold_config& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] crypto::group_key nonce();
+
+  int session_id_;
+  threshold_config cfg_;
+  std::vector<sim::group_addr> groups_;
+  sim::time_ns slot_duration_;
+  crypto::prng rng_;
+  sigma_ctrl_emitter* emitter_ = nullptr;
+
+  std::int64_t current_slot_ = -1;
+  // Per-level state for the current slot: group-major packet index offsets,
+  // sharing polynomials, thresholds.
+  std::vector<std::int64_t> offset_;  // offset_[j] = packets of groups < j
+  std::vector<std::optional<crypto::shamir_poly>> poly_;  // per level
+  std::vector<int> k_;                                    // per level
+  std::map<std::int64_t, std::vector<crypto::group_key>> keys_;  // by target
+};
+
+/// Honest TLM receiver strategy: per slot, determine the highest level whose
+/// key is reconstructible from the collected shares (the cryptographic image
+/// of the loss-rate rule), subscribe for slot s+2 with those keys, and probe
+/// upward through SIGMA's new-group grace when authorized.
+class tlm_sigma_strategy : public honest_sigma_strategy {
+ public:
+  explicit tlm_sigma_strategy(threshold_config cfg) : cfg_(std::move(cfg)) {}
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override;
+
+  struct tlm_counters {
+    std::uint64_t levels_reconstructed = 0;
+    std::uint64_t levels_denied_by_threshold = 0;
+  };
+  [[nodiscard]] const tlm_counters& tlm_stats() const { return tlm_stats_; }
+
+ private:
+  threshold_config cfg_;
+  tlm_counters tlm_stats_;
+};
+
+/// Bundle mirroring make_flid_ds_sender for the threshold protocol.
+struct tlm_sender_bundle {
+  std::unique_ptr<tlm_delta_sender> delta;
+  std::unique_ptr<sigma_ctrl_emitter> emitter;
+};
+
+[[nodiscard]] tlm_sender_bundle make_tlm_sender(
+    sim::network& net, sim::node_id sender_host, flid::flid_sender& sender,
+    const threshold_config& thresholds, std::uint64_t seed,
+    const sigma_emitter_config& emitter_cfg = {});
+
+}  // namespace mcc::core
+
+#endif  // MCC_CORE_TLM_H

@@ -1,0 +1,30 @@
+// GF(2^8) arithmetic with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+//
+// Substrate for the systematic Reed-Solomon erasure code that SIGMA uses to
+// deliver address-key tuples to edge routers reliably (paper sections 3.2.1
+// and 5.4: "error correction overcomes 50% packet loss").
+#ifndef MCC_CRYPTO_GF256_H
+#define MCC_CRYPTO_GF256_H
+
+#include <array>
+#include <cstdint>
+
+namespace mcc::crypto::gf256 {
+
+/// Initializes log/exp tables on first use (thread-unsafe by design; the
+/// simulator is single-threaded).
+void init();
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);
+std::uint8_t pow(std::uint8_t base, int exp);
+
+inline std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+inline std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return add(a, b); }
+
+}  // namespace mcc::crypto::gf256
+
+#endif  // MCC_CRYPTO_GF256_H

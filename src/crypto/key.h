@@ -1,0 +1,47 @@
+// Group-key value type and XOR algebra used by DELTA and SIGMA.
+//
+// The paper evaluates with 16-bit keys; we carry 64-bit values and expose a
+// width mask so overhead accounting and guessing experiments can model any
+// key size b (paper section 4.2: guessing succeeds with probability y / 2^b).
+#ifndef MCC_CRYPTO_KEY_H
+#define MCC_CRYPTO_KEY_H
+
+#include <cstdint>
+#include <functional>
+
+namespace mcc::crypto {
+
+/// A group key or key component (nonce). Value semantics; XOR composition.
+struct group_key {
+  std::uint64_t value = 0;
+
+  friend constexpr group_key operator^(group_key a, group_key b) {
+    return group_key{a.value ^ b.value};
+  }
+  constexpr group_key& operator^=(group_key other) {
+    value ^= other.value;
+    return *this;
+  }
+  friend constexpr bool operator==(group_key, group_key) = default;
+};
+
+/// Truncates a key to its low `bits` bits (models a b-bit key space).
+constexpr group_key mask_to_bits(group_key k, int bits) {
+  if (bits >= 64) return k;
+  if (bits <= 0) return group_key{0};
+  return group_key{k.value & ((std::uint64_t{1} << bits) - 1)};
+}
+
+/// Identity element of the XOR key algebra.
+inline constexpr group_key zero_key{0};
+
+}  // namespace mcc::crypto
+
+template <>
+struct std::hash<mcc::crypto::group_key> {
+  std::size_t operator()(const mcc::crypto::group_key& k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.value);
+  }
+};
+
+#endif  // MCC_CRYPTO_KEY_H

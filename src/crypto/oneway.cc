@@ -1,0 +1,29 @@
+#include "crypto/oneway.h"
+
+namespace mcc::crypto {
+
+std::uint64_t oneway_mix(std::uint64_t x) {
+  // Three rounds of the murmur3/splitmix finalizer with distinct constants.
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  x *= 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  return x;
+}
+
+group_key oneway_compress(std::span<const group_key> parts) {
+  std::uint64_t acc = 0x2545f4914f6cdd1dULL;
+  for (const auto& part : parts) {
+    acc = oneway_mix(acc ^ part.value);
+  }
+  return group_key{acc};
+}
+
+group_key perturb_for_interface(group_key k, std::uint64_t interface_id) {
+  return group_key{oneway_mix(k.value ^ (interface_id * 0xda942042e4dd58b5ULL))};
+}
+
+}  // namespace mcc::crypto

@@ -1,0 +1,32 @@
+// One-way compression used where the paper requires non-invertible key
+// derivation (section 3.1.1 argues F and H must be one-way) and for the
+// interface-specific key perturbation that counters collusion (section 4.2).
+//
+// This is an avalanche mixer (murmur-style finalizer iterated), not a
+// cryptographic hash; in the simulator the adversary is the modelled receiver,
+// which only interacts with keys through the protocol, so preimage resistance
+// beyond "cannot be inverted by XOR algebra" is not required.
+#ifndef MCC_CRYPTO_ONEWAY_H
+#define MCC_CRYPTO_ONEWAY_H
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/key.h"
+
+namespace mcc::crypto {
+
+/// One-way mix of a single 64-bit value.
+[[nodiscard]] std::uint64_t oneway_mix(std::uint64_t x);
+
+/// One-way compression of a list of key components into a single key.
+[[nodiscard]] group_key oneway_compress(std::span<const group_key> parts);
+
+/// Domain-separated perturbation of a key with an interface identifier;
+/// used by the collusion countermeasure to derive interface-specific keys.
+[[nodiscard]] group_key perturb_for_interface(group_key k,
+                                              std::uint64_t interface_id);
+
+}  // namespace mcc::crypto
+
+#endif  // MCC_CRYPTO_ONEWAY_H

@@ -1,0 +1,15 @@
+#include "crypto/prng.h"
+
+#include <cmath>
+
+namespace mcc::crypto {
+
+double prng::exponential(double mean) {
+  util::require(mean > 0.0, "exponential: mean must be positive");
+  double u = uniform();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace mcc::crypto

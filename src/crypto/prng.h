@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded via
+// splitmix64).
+//
+// Every stochastic component of the simulator owns a prng seeded from the
+// scenario seed plus a stable stream id, so experiment runs are reproducible
+// bit-for-bit regardless of module construction order.
+#ifndef MCC_CRYPTO_PRNG_H
+#define MCC_CRYPTO_PRNG_H
+
+#include <cstdint>
+
+#include "util/require.h"
+
+namespace mcc::crypto {
+
+/// splitmix64 step; also used standalone to derive stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator.
+class prng {
+ public:
+  explicit prng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent child generator for a named sub-stream.
+  [[nodiscard]] prng fork(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return prng(splitmix64(sm));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    util::require(lo <= hi, "uniform_int: empty range");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mcc::crypto
+
+#endif  // MCC_CRYPTO_PRNG_H

@@ -1,0 +1,62 @@
+// Systematic Reed-Solomon erasure code over GF(256) (Vandermonde parity).
+//
+// encode(k data shards) appends m parity shards; any k of the k + m shards
+// reconstruct the data. SIGMA uses this for the special packets that carry
+// address-key tuples to edge routers across the (possibly congested)
+// distribution tree; the expansion factor z = (k + m) / k appears in the
+// overhead model of paper section 5.4.
+#ifndef MCC_CRYPTO_RS_CODE_H
+#define MCC_CRYPTO_RS_CODE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mcc::crypto {
+
+using shard = std::vector<std::uint8_t>;
+
+/// A shard tagged with its index within the codeword (0..k-1 data,
+/// k..k+m-1 parity).
+struct indexed_shard {
+  int index = 0;
+  shard data;
+};
+
+/// Reed-Solomon erasure codec for fixed (k, m). Requires k >= 1, m >= 0,
+/// k + m <= 255.
+class rs_code {
+ public:
+  rs_code(int data_shards, int parity_shards);
+
+  [[nodiscard]] int data_shards() const { return k_; }
+  [[nodiscard]] int parity_shards() const { return m_; }
+  [[nodiscard]] double expansion_factor() const {
+    return static_cast<double>(k_ + m_) / k_;
+  }
+
+  /// Produces the full codeword (data shards first, then parity). All input
+  /// shards must have equal size.
+  [[nodiscard]] std::vector<shard> encode(const std::vector<shard>& data) const;
+
+  /// Reconstructs the k data shards from any >= k distinct received shards.
+  /// Returns nullopt if fewer than k shards are supplied.
+  [[nodiscard]] std::optional<std::vector<shard>> decode(
+      const std::vector<indexed_shard>& received) const;
+
+ private:
+  int k_;
+  int m_;
+  // Parity rows: parity[i] = sum_j vand_[i][j] * data[j].
+  std::vector<std::vector<std::uint8_t>> vand_;
+};
+
+/// Splits a byte buffer into k equal shards (zero padded) and back.
+[[nodiscard]] std::vector<shard> split_into_shards(
+    const std::vector<std::uint8_t>& buffer, int k);
+[[nodiscard]] std::vector<std::uint8_t> join_shards(
+    const std::vector<shard>& shards, std::size_t original_size);
+
+}  // namespace mcc::crypto
+
+#endif  // MCC_CRYPTO_RS_CODE_H

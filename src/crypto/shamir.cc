@@ -1,0 +1,123 @@
+#include "crypto/shamir.h"
+
+#include "util/require.h"
+
+namespace mcc::crypto {
+
+namespace gf61 {
+
+namespace {
+constexpr std::uint64_t p = shamir_prime;
+
+std::uint64_t reduce(unsigned __int128 v) {
+  // Mersenne reduction: x mod (2^61 - 1).
+  std::uint64_t lo = static_cast<std::uint64_t>(v & p);
+  std::uint64_t hi = static_cast<std::uint64_t>(v >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= p) r -= p;
+  // One more fold covers the carry out of lo + hi.
+  if (r >= p) r -= p;
+  return r;
+}
+}  // namespace
+
+std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r = a + b;
+  if (r >= p) r -= p;
+  return r;
+}
+
+std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + p - b;
+}
+
+std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+  return reduce(static_cast<unsigned __int128>(a) * b);
+}
+
+std::uint64_t pow(std::uint64_t base, std::uint64_t exp) {
+  std::uint64_t result = 1;
+  std::uint64_t acc = base % p;
+  while (exp > 0) {
+    if (exp & 1) result = mul(result, acc);
+    acc = mul(acc, acc);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inv(std::uint64_t a) {
+  util::require(a % p != 0, "gf61::inv: zero has no inverse");
+  // Fermat: a^(p-2) mod p.
+  return pow(a, p - 2);
+}
+
+}  // namespace gf61
+
+shamir_poly::shamir_poly(std::uint64_t secret, int k, prng& rng) {
+  util::require(k >= 1, "shamir_poly: threshold must be >= 1");
+  util::require(secret < shamir_prime, "shamir_poly: secret must be < p");
+  // q(x) = secret + a1 x + ... + a_{k-1} x^{k-1}, coefficients uniform in GF(p).
+  coeffs_.resize(static_cast<std::size_t>(k));
+  coeffs_[0] = secret;
+  for (int i = 1; i < k; ++i) {
+    coeffs_[static_cast<std::size_t>(i)] = rng.next() % shamir_prime;
+  }
+}
+
+std::uint64_t shamir_poly::eval(std::uint64_t x) const {
+  x %= shamir_prime;
+  // Horner evaluation of q at x.
+  std::uint64_t y = 0;
+  for (auto c = coeffs_.rbegin(); c != coeffs_.rend(); ++c) {
+    y = gf61::add(gf61::mul(y, x), *c);
+  }
+  return y;
+}
+
+std::vector<shamir_share> shamir_split(std::uint64_t secret, int k, int n,
+                                       prng& rng) {
+  util::require(k >= 1 && k <= n, "shamir_split: need 1 <= k <= n");
+  util::require(static_cast<std::uint64_t>(n) < shamir_prime,
+                "shamir_split: too many shares");
+  const shamir_poly poly(secret, k, rng);
+  std::vector<shamir_share> shares;
+  shares.reserve(static_cast<std::size_t>(n));
+  for (int xi = 1; xi <= n; ++xi) {
+    shares.push_back(poly.share_at(static_cast<std::uint64_t>(xi)));
+  }
+  return shares;
+}
+
+std::uint64_t shamir_reconstruct(std::span<const shamir_share> shares) {
+  util::require(!shares.empty(), "shamir_reconstruct: no shares");
+  // Lagrange interpolation at x = 0:
+  //   q(0) = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (j == i) continue;
+      util::require(shares[j].x != shares[i].x,
+                    "shamir_reconstruct: duplicate share x");
+      num = gf61::mul(num, shares[j].x % shamir_prime);
+      den = gf61::mul(den, gf61::sub(shares[j].x % shamir_prime,
+                                     shares[i].x % shamir_prime));
+    }
+    const std::uint64_t weight = gf61::mul(num, gf61::inv(den));
+    secret = gf61::add(secret, gf61::mul(shares[i].y, weight));
+  }
+  return secret;
+}
+
+std::vector<shamir_share> shamir_split_key(group_key key, int k, int n,
+                                           prng& rng) {
+  return shamir_split(key.value % shamir_prime, k, n, rng);
+}
+
+group_key shamir_reconstruct_key(std::span<const shamir_share> shares) {
+  return group_key{shamir_reconstruct(shares)};
+}
+
+}  // namespace mcc::crypto

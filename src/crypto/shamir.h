@@ -1,0 +1,80 @@
+// Shamir (k, n) threshold secret sharing over GF(p), p = 2^61 - 1.
+//
+// Used by the DELTA instantiation for threshold-based protocols
+// (paper section 3.1.2, "Congested state"): the key for subscription level g
+// is split into n shares, one per packet of the level's time slot; a receiver
+// that collects at least k of the n packets reconstructs the key by Lagrange
+// interpolation at x = 0, so the loss-rate threshold (n - k) / n is enforced
+// cryptographically rather than by receiver honesty.
+#ifndef MCC_CRYPTO_SHAMIR_H
+#define MCC_CRYPTO_SHAMIR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/key.h"
+#include "crypto/prng.h"
+
+namespace mcc::crypto {
+
+/// The prime field modulus (Mersenne prime 2^61 - 1).
+inline constexpr std::uint64_t shamir_prime = (std::uint64_t{1} << 61) - 1;
+
+/// One share: the evaluation point x (1-based packet index) and q(x).
+struct shamir_share {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+  friend constexpr bool operator==(shamir_share, shamir_share) = default;
+};
+
+/// Field arithmetic helpers, exposed for tests.
+namespace gf61 {
+std::uint64_t add(std::uint64_t a, std::uint64_t b);
+std::uint64_t sub(std::uint64_t a, std::uint64_t b);
+std::uint64_t mul(std::uint64_t a, std::uint64_t b);
+std::uint64_t pow(std::uint64_t base, std::uint64_t exp);
+std::uint64_t inv(std::uint64_t a);
+}  // namespace gf61
+
+/// The degree-(k-1) sharing polynomial itself, for callers that need shares
+/// at arbitrary evaluation points (e.g. per-packet indices assigned by a
+/// transmission schedule). q(0) = secret.
+class shamir_poly {
+ public:
+  shamir_poly(std::uint64_t secret, int k, prng& rng);
+
+  /// Evaluates q at x (x != 0 for shares; x taken mod p).
+  [[nodiscard]] std::uint64_t eval(std::uint64_t x) const;
+  [[nodiscard]] shamir_share share_at(std::uint64_t x) const {
+    return shamir_share{x, eval(x)};
+  }
+  [[nodiscard]] int threshold() const {
+    return static_cast<int>(coeffs_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // coeffs_[0] = secret
+};
+
+/// Splits `secret` into n shares with reconstruction threshold k.
+/// Requires 1 <= k <= n and secret < shamir_prime (keys are reduced mod p).
+[[nodiscard]] std::vector<shamir_share> shamir_split(std::uint64_t secret,
+                                                     int k, int n, prng& rng);
+
+/// Reconstructs the secret from at least k distinct shares. With fewer than
+/// k shares of a (k, n) split this returns a field element that is
+/// information-theoretically independent of the secret.
+[[nodiscard]] std::uint64_t shamir_reconstruct(
+    std::span<const shamir_share> shares);
+
+/// Convenience wrappers for group keys (values are reduced mod p, so key
+/// material for threshold DELTA is drawn below the prime).
+[[nodiscard]] std::vector<shamir_share> shamir_split_key(group_key key, int k,
+                                                         int n, prng& rng);
+[[nodiscard]] group_key shamir_reconstruct_key(
+    std::span<const shamir_share> shares);
+
+}  // namespace mcc::crypto
+
+#endif  // MCC_CRYPTO_SHAMIR_H

@@ -1,0 +1,51 @@
+#include "exp/report.h"
+
+#include <cmath>
+#include <iomanip>
+
+namespace mcc::exp {
+
+void print_series(std::ostream& os, const std::string& title, const series& s,
+                  double x_min, double x_max) {
+  os << "# " << title << "\n";
+  for (const auto& [x, y] : s) {
+    if (x < x_min || x > x_max) continue;
+    os << std::fixed << std::setprecision(3) << x << " "
+       << std::setprecision(2) << y << "\n";
+  }
+  os << "\n";
+}
+
+void print_columns(std::ostream& os, const std::string& title,
+                   const std::vector<std::string>& labels,
+                   const std::vector<series>& columns, double x_min,
+                   double x_max) {
+  os << "# " << title << "\n# x";
+  for (const auto& l : labels) os << " " << l;
+  os << "\n";
+  if (columns.empty()) return;
+  const std::size_t rows = columns.front().size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double x = columns.front()[i].first;
+    if (x < x_min || x > x_max) continue;
+    os << std::fixed << std::setprecision(3) << x;
+    for (const auto& col : columns) {
+      if (i < col.size() && std::abs(col[i].first - x) < 1e-9) {
+        os << " " << std::setprecision(2) << col[i].second;
+      } else {
+        os << " -";
+      }
+    }
+    os << "\n";
+  }
+  os << "\n";
+}
+
+void print_check(std::ostream& os, const std::string& what,
+                 const std::string& paper_says, double measured,
+                 const std::string& unit) {
+  os << "CHECK  " << what << ": paper=" << paper_says << "  measured="
+     << std::fixed << std::setprecision(2) << measured << " " << unit << "\n";
+}
+
+}  // namespace mcc::exp

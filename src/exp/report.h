@@ -1,0 +1,33 @@
+// Output helpers for figure-reproduction benches: gnuplot-style series and
+// paper-vs-measured summary rows.
+#ifndef MCC_EXP_REPORT_H
+#define MCC_EXP_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcc::exp {
+
+using series = std::vector<std::pair<double, double>>;
+
+/// Prints "# <title>" followed by "x y" rows.
+void print_series(std::ostream& os, const std::string& title, const series& s,
+                  double x_min = 0.0, double x_max = 1e18);
+
+/// Prints several series as one table: x, then one column per series (series
+/// must share x values; missing values are printed as "-").
+void print_columns(std::ostream& os, const std::string& title,
+                   const std::vector<std::string>& labels,
+                   const std::vector<series>& columns, double x_min = 0.0,
+                   double x_max = 1e18);
+
+/// One row of a paper-vs-measured summary.
+void print_check(std::ostream& os, const std::string& what,
+                 const std::string& paper_says, double measured,
+                 const std::string& unit);
+
+}  // namespace mcc::exp
+
+#endif  // MCC_EXP_REPORT_H

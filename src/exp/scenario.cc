@@ -1,0 +1,191 @@
+#include "exp/scenario.h"
+
+#include "crypto/prng.h"
+
+namespace mcc::exp {
+
+namespace {
+std::int64_t queue_bytes(double bps, double bdp, sim::time_ns rtt) {
+  return static_cast<std::int64_t>(bdp * bps * sim::to_seconds(rtt) / 8.0);
+}
+}  // namespace
+
+dumbbell::dumbbell(const dumbbell_config& cfg)
+    : cfg_(cfg), net_(sched_), seed_state_(cfg.seed) {
+  left_router_ = net_.add_router("left");
+  right_router_ = net_.add_router("right");
+  sim::link_config bn;
+  bn.bps = cfg_.bottleneck_bps;
+  bn.delay = cfg_.bottleneck_delay;
+  bn.queue_capacity_bytes =
+      queue_bytes(cfg_.bottleneck_bps, cfg_.buffer_bdp, cfg_.base_rtt);
+  auto [fwd, rev] = net_.connect(left_router_, right_router_, bn);
+  bottleneck_ = fwd;
+  (void)rev;
+  igmp_left_ = std::make_unique<mcast::igmp_agent>(net_, left_router_);
+  igmp_right_ = std::make_unique<mcast::igmp_agent>(net_, right_router_);
+  sigma_ = std::make_unique<core::sigma_router_agent>(net_, right_router_,
+                                                      *igmp_right_);
+}
+
+std::uint64_t dumbbell::next_seed() {
+  return crypto::splitmix64(seed_state_);
+}
+
+sim::node_id dumbbell::add_left_host(const std::string& name) {
+  const sim::node_id h = net_.add_host(name);
+  sim::link_config ac;
+  ac.bps = cfg_.access_bps;
+  ac.delay = cfg_.access_delay;
+  ac.queue_capacity_bytes =
+      queue_bytes(cfg_.access_bps, cfg_.buffer_bdp, cfg_.base_rtt);
+  net_.connect(h, left_router_, ac);
+  return h;
+}
+
+sim::node_id dumbbell::add_right_host(const std::string& name,
+                                      sim::time_ns delay) {
+  const sim::node_id h = net_.add_host(name);
+  sim::link_config ac;
+  ac.bps = cfg_.access_bps;
+  ac.delay = delay < 0 ? cfg_.access_delay : delay;
+  ac.queue_capacity_bytes =
+      queue_bytes(cfg_.access_bps, cfg_.buffer_bdp, cfg_.base_rtt);
+  net_.connect(right_router_, h, ac);
+  return h;
+}
+
+flid::flid_config dumbbell::default_flid_config(flid_mode mode) const {
+  flid::flid_config cfg;
+  cfg.num_groups = 10;
+  cfg.base_rate_bps = 100e3;
+  cfg.rate_multiplier = 1.5;
+  cfg.packet_bytes = 576;
+  cfg.key_bits = 16;
+  if (mode == flid_mode::dl) {
+    cfg.slot_duration = sim::milliseconds(500);
+    cfg.upgrade_prob = 0.3;
+  } else {
+    // Paper section 5.1: 250 ms slots so SIGMA's two-slot enforcement matches
+    // FLID-DL's control granularity; halve the per-slot upgrade probability
+    // so upgrade signals arrive at the same real-time frequency.
+    cfg.slot_duration = sim::milliseconds(250);
+    cfg.upgrade_prob = 0.15;
+  }
+  return cfg;
+}
+
+flid_session& dumbbell::add_flid_session(
+    flid_mode mode, const std::vector<receiver_options>& receivers,
+    sim::time_ns sender_start) {
+  return add_flid_session(mode, default_flid_config(mode), receivers,
+                          sender_start);
+}
+
+flid_session& dumbbell::add_flid_session(
+    flid_mode mode, flid::flid_config cfg,
+    const std::vector<receiver_options>& receivers,
+    sim::time_ns sender_start) {
+  util::require(!finalized_, "dumbbell: cannot add sessions after run");
+  const int sid = next_session_id_++;
+  cfg.session_id = sid;
+  cfg.group_addr_base = 10'000 + sid * 100;
+
+  auto session = std::make_unique<flid_session>();
+  session->mode = mode;
+  session->config = cfg;
+
+  const sim::node_id sender_host =
+      add_left_host("mc_src_" + std::to_string(sid));
+  session->sender = std::make_unique<flid::flid_sender>(net_, sender_host, cfg,
+                                                        next_seed());
+  if (mode == flid_mode::ds) {
+    session->ds =
+        core::make_flid_ds_sender(net_, sender_host, *session->sender,
+                                  next_seed());
+  }
+  session->sender->start(sender_start);
+
+  int ridx = 0;
+  for (const receiver_options& opt : receivers) {
+    const sim::node_id rh = add_right_host(
+        "mc_rcv_" + std::to_string(sid) + "_" + std::to_string(ridx++),
+        opt.access_delay);
+    std::unique_ptr<flid::subscription_strategy> strategy;
+    if (mode == flid_mode::dl) {
+      if (opt.inflate) {
+        strategy = std::make_unique<flid::inflating_plain_strategy>(
+            opt.inflate_at, opt.inflate_level);
+      } else {
+        strategy = std::make_unique<flid::honest_plain_strategy>();
+      }
+    } else {
+      if (opt.inflate) {
+        strategy = std::make_unique<core::misbehaving_sigma_strategy>(
+            opt.inflate_at, opt.attack_keys, next_seed());
+      } else {
+        strategy = std::make_unique<core::honest_sigma_strategy>();
+      }
+    }
+    auto receiver = std::make_unique<flid::flid_receiver>(
+        net_, rh, right_router_, cfg, std::move(strategy));
+    receiver->start(opt.start_time);
+    session->receivers.push_back(std::move(receiver));
+  }
+
+  sessions_.push_back(std::move(session));
+  return *sessions_.back();
+}
+
+tcp_flow& dumbbell::add_tcp_flow(sim::time_ns start_time) {
+  util::require(!finalized_, "dumbbell: cannot add flows after run");
+  const int fid = next_flow_id_++;
+  const sim::node_id src = add_left_host("tcp_src_" + std::to_string(fid));
+  const sim::node_id dst =
+      add_right_host("tcp_dst_" + std::to_string(fid), -1);
+  auto flow = std::make_unique<tcp_flow>();
+  tcp::tcp_config cfg;
+  cfg.flow_id = fid;
+  cfg.segment_bytes = 576;
+  cfg.start_time = start_time;
+  flow->sink = std::make_unique<tcp::tcp_sink>(net_, dst, fid, 40);
+  flow->sender = std::make_unique<tcp::tcp_sender>(net_, src, dst, cfg);
+  tcp_flows_.push_back(std::move(flow));
+  return *tcp_flows_.back();
+}
+
+cbr_flow& dumbbell::add_cbr(const traffic::cbr_config& cfg_in) {
+  util::require(!finalized_, "dumbbell: cannot add flows after run");
+  traffic::cbr_config cfg = cfg_in;
+  cfg.flow_id = next_flow_id_++;
+  const sim::node_id src =
+      add_left_host("cbr_src_" + std::to_string(cfg.flow_id));
+  const sim::node_id dst =
+      add_right_host("cbr_dst_" + std::to_string(cfg.flow_id), -1);
+  auto flow = std::make_unique<cbr_flow>();
+  flow->sink = std::make_unique<traffic::cbr_sink>(net_, dst, cfg.flow_id);
+  flow->source = std::make_unique<traffic::cbr_source>(net_, src, dst, cfg);
+  cbr_flows_.push_back(std::move(flow));
+  return *cbr_flows_.back();
+}
+
+void dumbbell::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  net_.finalize_routing();
+}
+
+void dumbbell::run_until(sim::time_ns until) {
+  finalize();
+  sched_.run_until(until);
+}
+
+double average_receiver_kbps(flid_session& session, sim::time_ns t0,
+                             sim::time_ns t1) {
+  if (session.receivers.empty()) return 0.0;
+  double sum = 0.0;
+  for (auto& r : session.receivers) sum += r->monitor().average_kbps(t0, t1);
+  return sum / static_cast<double>(session.receivers.size());
+}
+
+}  // namespace mcc::exp

@@ -1,0 +1,139 @@
+// Experiment scenarios: the single-bottleneck (dumbbell) topology of paper
+// section 5.1 with factories for FLID-DL / FLID-DS sessions, TCP Reno flows,
+// and on-off CBR cross traffic.
+//
+// Defaults follow the paper: every session's three-link path crosses the
+// middle bottleneck link (20 ms); other links are 10 Mbps / 10 ms; buffers
+// are two bandwidth-delay products; multicast sessions have 10 groups, a
+// 100 Kbps minimal group, cumulative rate factor 1.5, 576-byte packets;
+// FLID-DL uses 500 ms slots and FLID-DS 250 ms.
+#ifndef MCC_EXP_SCENARIO_H
+#define MCC_EXP_SCENARIO_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flid_ds.h"
+#include "core/sigma_router.h"
+#include "flid/flid_receiver.h"
+#include "flid/flid_sender.h"
+#include "sim/network.h"
+#include "tcp/tcp.h"
+#include "traffic/cbr.h"
+
+namespace mcc::exp {
+
+struct dumbbell_config {
+  double bottleneck_bps = 1e6;
+  sim::time_ns bottleneck_delay = sim::milliseconds(20);
+  double access_bps = 10e6;
+  sim::time_ns access_delay = sim::milliseconds(10);
+  /// Queue capacity in bandwidth-delay products (link rate x base_rtt).
+  double buffer_bdp = 2.0;
+  sim::time_ns base_rtt = sim::milliseconds(80);
+  std::uint64_t seed = 1;
+};
+
+enum class flid_mode { dl, ds };
+
+/// Misbehavior configuration for one receiver.
+struct receiver_options {
+  sim::time_ns start_time = 0;
+  sim::time_ns access_delay = -1;  // -1: use the scenario default
+  bool inflate = false;            // launch the inflated-subscription attack
+  sim::time_ns inflate_at = 0;
+  /// Level the attacker inflates to in DL mode (<= 0: all groups).
+  int inflate_level = 0;
+  core::misbehaving_sigma_strategy::key_mode attack_keys =
+      core::misbehaving_sigma_strategy::key_mode::guess;
+};
+
+/// One multicast session: sender machinery plus its receivers.
+struct flid_session {
+  flid_mode mode = flid_mode::dl;
+  flid::flid_config config;
+  std::unique_ptr<flid::flid_sender> sender;
+  core::flid_ds_sender ds;  // populated in DS mode
+  std::vector<std::unique_ptr<flid::flid_receiver>> receivers;
+
+  [[nodiscard]] flid::flid_receiver& receiver(int i = 0) {
+    return *receivers[static_cast<std::size_t>(i)];
+  }
+};
+
+struct tcp_flow {
+  std::unique_ptr<tcp::tcp_sender> sender;
+  std::unique_ptr<tcp::tcp_sink> sink;
+};
+
+struct cbr_flow {
+  std::unique_ptr<traffic::cbr_source> source;
+  std::unique_ptr<traffic::cbr_sink> sink;
+};
+
+class dumbbell {
+ public:
+  explicit dumbbell(const dumbbell_config& cfg);
+
+  [[nodiscard]] sim::network& net() { return net_; }
+  [[nodiscard]] sim::scheduler& sched() { return sched_; }
+  [[nodiscard]] sim::node_id left_router() const { return left_router_; }
+  [[nodiscard]] sim::node_id right_router() const { return right_router_; }
+  [[nodiscard]] sim::link* bottleneck() const { return bottleneck_; }
+  [[nodiscard]] core::sigma_router_agent& sigma() { return *sigma_; }
+  [[nodiscard]] const dumbbell_config& config() const { return cfg_; }
+
+  /// Paper defaults for a session in the given mode; callers tweak fields
+  /// before passing the config to add_flid_session.
+  [[nodiscard]] flid::flid_config default_flid_config(flid_mode mode) const;
+
+  /// Adds a multicast session with one receiver per entry of `receivers`.
+  flid_session& add_flid_session(flid_mode mode,
+                                 const std::vector<receiver_options>& receivers,
+                                 sim::time_ns sender_start = 0);
+  /// Same, with an explicit (already session-id-assigned) config.
+  flid_session& add_flid_session(flid_mode mode, flid::flid_config cfg,
+                                 const std::vector<receiver_options>& receivers,
+                                 sim::time_ns sender_start = 0);
+
+  tcp_flow& add_tcp_flow(sim::time_ns start_time = 0);
+  cbr_flow& add_cbr(const traffic::cbr_config& cfg);
+
+  /// Finalizes routing on first call and runs the simulation to `until`.
+  void run_until(sim::time_ns until);
+
+  [[nodiscard]] int next_session_id() const { return next_session_id_; }
+
+ private:
+  sim::node_id add_left_host(const std::string& name);
+  sim::node_id add_right_host(const std::string& name, sim::time_ns delay);
+  [[nodiscard]] std::uint64_t next_seed();
+  void finalize();
+
+  dumbbell_config cfg_;
+  sim::scheduler sched_;
+  sim::network net_;
+  sim::node_id left_router_;
+  sim::node_id right_router_;
+  sim::link* bottleneck_ = nullptr;
+  std::unique_ptr<mcast::igmp_agent> igmp_left_;
+  std::unique_ptr<mcast::igmp_agent> igmp_right_;
+  std::unique_ptr<core::sigma_router_agent> sigma_;
+  std::vector<std::unique_ptr<flid_session>> sessions_;
+  std::vector<std::unique_ptr<tcp_flow>> tcp_flows_;
+  std::vector<std::unique_ptr<cbr_flow>> cbr_flows_;
+  int next_session_id_ = 1;
+  int next_flow_id_ = 1;
+  std::uint64_t seed_state_;
+  bool finalized_ = false;
+};
+
+/// Average of receiver throughputs over [t0, t1) in Kbps.
+[[nodiscard]] double average_receiver_kbps(flid_session& session,
+                                           sim::time_ns t0, sim::time_ns t1);
+
+}  // namespace mcc::exp
+
+#endif  // MCC_EXP_SCENARIO_H

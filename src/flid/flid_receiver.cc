@@ -1,0 +1,233 @@
+#include "flid/flid_receiver.h"
+
+#include <algorithm>
+
+namespace mcc::flid {
+
+flid_receiver::flid_receiver(sim::network& net, sim::node_id host,
+                             sim::node_id edge_router, const flid_config& cfg,
+                             std::unique_ptr<subscription_strategy> strategy)
+    : net_(net),
+      host_(host),
+      edge_router_(edge_router),
+      cfg_(cfg),
+      strategy_(std::move(strategy)),
+      membership_(net, host, edge_router),
+      monitor_(net.sched()) {
+  util::require(strategy_ != nullptr, "flid_receiver: strategy required");
+  join_time_.assign(static_cast<std::size_t>(cfg_.num_groups) + 1, -1);
+  net_.get(host_)->add_agent(this);
+}
+
+flid_receiver::~flid_receiver() {
+  *alive_ = false;
+  net_.get(host_)->remove_agent(this);
+}
+
+void flid_receiver::start(sim::time_ns at) {
+  util::require(!started_, "flid_receiver: already started");
+  started_ = true;
+  net_.sched().at(at, [this, alive = alive_] {
+    if (!*alive) return;
+    strategy_->session_start(*this);
+    const sim::time_ns t = cfg_.slot_duration;
+    eval_slot_ = net_.sched().now() / t;
+    arm_fallback();
+  });
+}
+
+void flid_receiver::arm_fallback() {
+  // Blackout fallback: if no later-slot packet triggers the evaluation, run
+  // it one full slot after the slot ends (covers total loss of a slot).
+  eval_fallback_.cancel();
+  const sim::time_ns t = cfg_.slot_duration;
+  const sim::time_ns deadline = (eval_slot_ + 2) * t;
+  const std::int64_t target = eval_slot_;
+  eval_fallback_ = net_.sched().at(
+      std::max(deadline, net_.sched().now()),
+      [this, alive = alive_, target] {
+        if (!*alive) return;
+        if (eval_slot_ == target) evaluate_up_to(target);
+      });
+}
+
+void flid_receiver::evaluate_up_to(std::int64_t slot) {
+  while (eval_slot_ <= slot) {
+    evaluate_slot(eval_slot_);
+    ++eval_slot_;
+  }
+  arm_fallback();
+}
+
+bool flid_receiver::handle_packet(const sim::packet& p, sim::link*) {
+  const auto* hdr = sim::header_as<sim::flid_data>(p);
+  if (hdr == nullptr || hdr->session_id != cfg_.session_id) return false;
+  const int g = hdr->group_index;
+  if (g < 1 || g > cfg_.num_groups) return false;
+
+  ++stats_.packets;
+  monitor_.on_bytes(p.size_bytes);
+
+  // A packet from a later slot means every earlier slot has drained from the
+  // shared FIFO path: evaluate pending slots now.
+  if (eval_slot_ >= 0 && hdr->slot > eval_slot_) {
+    evaluate_up_to(hdr->slot - 1);
+  }
+
+  auto& recs = records_[hdr->slot];
+  if (recs.empty()) {
+    recs.assign(static_cast<std::size_t>(cfg_.num_groups) + 1,
+                group_slot_record{});
+  }
+  auto& rec = recs[static_cast<std::size_t>(g)];
+  ++rec.received;
+  rec.expected = hdr->packets_in_slot;
+  if (hdr->component_scrubbed || p.ecn_marked) {
+    rec.scrubbed = true;
+  } else {
+    rec.xor_components ^= hdr->component;
+  }
+  if (g >= 2) rec.decrease = hdr->decrease;
+  rec.shares.insert(rec.shares.end(), hdr->level_shares.begin(),
+                    hdr->level_shares.end());
+  auth_masks_[hdr->slot] |= hdr->upgrade_auth_mask;
+  return true;
+}
+
+slot_summary flid_receiver::summarize(std::int64_t slot) const {
+  slot_summary s;
+  s.slot = slot;
+  auto it = records_.find(slot);
+  if (it != records_.end()) {
+    s.groups = it->second;
+  } else {
+    s.groups.assign(static_cast<std::size_t>(cfg_.num_groups) + 1,
+                    group_slot_record{});
+  }
+  auto am = auth_masks_.find(slot);
+  s.auth_mask = am != auth_masks_.end() ? am->second : 0;
+
+  // Level during the slot: contiguous groups subscribed before slot start and
+  // still subscribed now.
+  const sim::time_ns slot_start = slot * cfg_.slot_duration;
+  int lvl = 0;
+  for (int g = 1; g <= cfg_.num_groups; ++g) {
+    const sim::time_ns jt = join_time_[static_cast<std::size_t>(g)];
+    if (jt < 0 || jt > slot_start) break;
+    lvl = g;
+    s.groups[static_cast<std::size_t>(g)].full_slot = true;
+  }
+  s.level = lvl;
+
+  // Congested = any full-slot group with missing or invalidated packets
+  // (FLID-DL / RLC define congestion as a single packet loss in the slot).
+  for (int g = 1; g <= lvl; ++g) {
+    if (!s.groups[static_cast<std::size_t>(g)].complete()) {
+      s.congested = true;
+      break;
+    }
+  }
+  return s;
+}
+
+void flid_receiver::evaluate_slot(std::int64_t slot) {
+  ++stats_.slots_evaluated;
+  const slot_summary summary = summarize(slot);
+  if (summary.congested) ++stats_.slots_congested;
+
+  const int before = level_;
+  const int target = strategy_->on_slot(*this, summary);
+  if (target != before) {
+    if (target > before) {
+      ++stats_.upgrades;
+    } else {
+      ++stats_.downgrades;
+    }
+  }
+
+  // Garbage-collect old records.
+  while (!records_.empty() && records_.begin()->first <= slot) {
+    records_.erase(records_.begin());
+  }
+  while (!auth_masks_.empty() && auth_masks_.begin()->first <= slot) {
+    auth_masks_.erase(auth_masks_.begin());
+  }
+}
+
+void flid_receiver::set_local_level(int new_level) {
+  new_level = std::clamp(new_level, 0, cfg_.num_groups);
+  sim::node* h = net_.get(host_);
+  if (new_level > level_) {
+    for (int g = level_ + 1; g <= new_level; ++g) {
+      h->host_join(cfg_.group(g));
+      join_time_[static_cast<std::size_t>(g)] = net_.sched().now();
+    }
+  } else if (new_level < level_) {
+    for (int g = new_level + 1; g <= level_; ++g) {
+      h->host_leave(cfg_.group(g));
+      join_time_[static_cast<std::size_t>(g)] = -1;
+    }
+  }
+  if (new_level != level_) {
+    level_ = new_level;
+    level_history_.emplace_back(net_.sched().now(), level_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plain strategies
+// ---------------------------------------------------------------------------
+
+void honest_plain_strategy::session_start(flid_receiver& r) {
+  r.set_local_level(1);
+  r.membership().join(r.config().group(1));
+}
+
+int honest_plain_strategy::on_slot(flid_receiver& r, const slot_summary& s) {
+  const int n = r.config().num_groups;
+  int level = r.level();
+  if (s.level == 0) return level;  // not yet receiving a full slot
+  if (s.congested) {
+    if (level > 1) {
+      r.membership().leave(r.config().group(level));
+      r.set_local_level(level - 1);
+    }
+    return r.level();
+  }
+  if (level < n && s.upgrade_authorized(level + 1)) {
+    r.membership().join(r.config().group(level + 1));
+    r.set_local_level(level + 1);
+  }
+  return r.level();
+}
+
+void inflating_plain_strategy::session_start(flid_receiver& r) {
+  r.set_local_level(1);
+  r.membership().join(r.config().group(1));
+}
+
+int inflating_plain_strategy::on_slot(flid_receiver& r,
+                                      const slot_summary& s) {
+  const int n = inflate_level_ > 0
+                    ? std::min(inflate_level_, r.config().num_groups)
+                    : r.config().num_groups;
+  if (!inflated_ && r.net().sched().now() >= inflate_at_) {
+    inflated_ = true;
+    // The attack: raise the subscription via raw IGMP regardless of
+    // congestion state.
+    for (int g = r.level() + 1; g <= n; ++g) {
+      r.membership().join(r.config().group(g));
+    }
+    r.set_local_level(n);
+    return n;
+  }
+  if (inflated_) {
+    // Ignore all congestion signals; keep claiming the inflated level.
+    return n;
+  }
+  // Behave honestly until the attack starts.
+  honest_plain_strategy honest;
+  return honest.on_slot(r, s);
+}
+
+}  // namespace mcc::flid

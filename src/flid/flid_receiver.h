@@ -1,0 +1,178 @@
+// FLID receiver: per-slot reception bookkeeping (loss detection by header
+// packet counts, DELTA component accumulation) and a pluggable subscription
+// strategy.
+//
+// The strategy split mirrors the paper's separation of concerns: the
+// *receiver* observes its congestion state per slot; the *strategy* decides
+// how to act on it — honest IGMP membership (plain FLID-DL), honest
+// DELTA/SIGMA key submission (FLID-DS), or one of the misbehaving variants
+// used in the attack experiments.
+#ifndef MCC_FLID_FLID_RECEIVER_H
+#define MCC_FLID_FLID_RECEIVER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/key.h"
+#include "flid/flid_config.h"
+#include "mcast/igmp.h"
+#include "sim/network.h"
+#include "sim/stats.h"
+
+namespace mcc::flid {
+
+/// Reception record for one (group, slot).
+struct group_slot_record {
+  int received = 0;
+  int expected = -1;  // from header packets_in_slot; -1 = no packet seen
+  bool full_slot = false;  // subscribed for the entire slot
+  crypto::group_key xor_components{};
+  std::optional<crypto::group_key> decrease;
+  bool scrubbed = false;  // a component was invalidated (ECN variant)
+  /// Shamir shares collected from this group's packets (threshold protocols
+  /// only; empty under XOR-based DELTA).
+  std::vector<sim::level_share> shares;
+
+  /// All transmitted packets of this group/slot were received intact.
+  [[nodiscard]] bool complete() const {
+    return expected >= 0 && received >= expected && !scrubbed;
+  }
+};
+
+/// Everything a strategy needs to act on one evaluated slot.
+struct slot_summary {
+  std::int64_t slot = 0;
+  int level = 0;  // groups subscribed for the whole slot (contiguous 1..level)
+  bool congested = false;
+  std::uint32_t auth_mask = 0;
+  std::vector<group_slot_record> groups;  // index 0 unused; 1..num_groups
+
+  [[nodiscard]] bool upgrade_authorized(int g) const {
+    return (auth_mask & (1u << g)) != 0;
+  }
+};
+
+class flid_receiver;
+
+/// Decides subscription changes after each slot; owns all signalling.
+class subscription_strategy {
+ public:
+  virtual ~subscription_strategy() = default;
+  /// Initial admission into the session.
+  virtual void session_start(flid_receiver& r) = 0;
+  /// Returns the new target subscription level after evaluating `s`.
+  virtual int on_slot(flid_receiver& r, const slot_summary& s) = 0;
+};
+
+class flid_receiver : public sim::agent {
+ public:
+  flid_receiver(sim::network& net, sim::node_id host, sim::node_id edge_router,
+                const flid_config& cfg,
+                std::unique_ptr<subscription_strategy> strategy);
+  ~flid_receiver() override;
+
+  /// Joins the session at time `at` (via the strategy) and starts slot
+  /// evaluation timers.
+  void start(sim::time_ns at);
+
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+
+  // --- state exposed to strategies and experiments ---------------------------
+  [[nodiscard]] const flid_config& config() const { return cfg_; }
+  [[nodiscard]] sim::network& net() { return net_; }
+  [[nodiscard]] sim::node_id host() const { return host_; }
+  [[nodiscard]] sim::node_id edge_router() const { return edge_router_; }
+  [[nodiscard]] int level() const { return level_; }
+  [[nodiscard]] sim::throughput_monitor& monitor() { return monitor_; }
+  [[nodiscard]] mcast::membership_client& membership() { return membership_; }
+
+  /// Subscription level over time, one entry per change: (time, level).
+  [[nodiscard]] const std::vector<std::pair<sim::time_ns, int>>& level_history()
+      const {
+    return level_history_;
+  }
+
+  // --- primitives used by strategies ------------------------------------------
+  /// Updates the cumulative subscription level: joins/leaves local host state
+  /// and records join times for full-slot bookkeeping. Does NOT signal the
+  /// network (strategies do that via IGMP or SIGMA messages).
+  void set_local_level(int new_level);
+
+  struct counters {
+    std::uint64_t packets = 0;
+    std::uint64_t slots_congested = 0;
+    std::uint64_t slots_evaluated = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t downgrades = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ private:
+  void evaluate_slot(std::int64_t slot);
+  void evaluate_up_to(std::int64_t slot);  // evaluates [eval_slot_, slot]
+  void arm_fallback();
+  [[nodiscard]] slot_summary summarize(std::int64_t slot) const;
+
+  sim::network& net_;
+  sim::node_id host_;
+  sim::node_id edge_router_;
+  flid_config cfg_;
+  std::unique_ptr<subscription_strategy> strategy_;
+  mcast::membership_client membership_;
+  sim::throughput_monitor monitor_;
+
+  int level_ = 0;  // current target subscription level
+  std::vector<sim::time_ns> join_time_;  // per group (1..N); -1 = not joined
+  /// Next slot awaiting evaluation. Slot s is evaluated when the first
+  /// packet of a later slot arrives (the session's packets share one FIFO
+  /// path, so a slot-(s+1) arrival implies slot s is fully drained), with a
+  /// wall-clock fallback for blackouts.
+  std::int64_t eval_slot_ = -1;
+  sim::event_handle eval_fallback_;
+  // slot -> per-group records (1..N at indices 1..N).
+  std::map<std::int64_t, std::vector<group_slot_record>> records_;
+  std::map<std::int64_t, std::uint32_t> auth_masks_;
+  std::vector<std::pair<sim::time_ns, int>> level_history_;
+  bool started_ = false;
+  /// Liveness token captured by scheduled lambdas so a destroyed receiver's
+  /// pending timer events become no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  counters stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Plain-IGMP strategies (the unprotected world of Figure 1)
+// ---------------------------------------------------------------------------
+
+/// Well-behaved FLID-DL receiver: drop the top layer on a lossy slot, add a
+/// layer when authorized and loss-free.
+class honest_plain_strategy : public subscription_strategy {
+ public:
+  void session_start(flid_receiver& r) override;
+  int on_slot(flid_receiver& r, const slot_summary& s) override;
+};
+
+/// Misbehaving receiver: behaves honestly until `inflate_at`, then raises its
+/// subscription to `inflate_level` via raw IGMP and ignores congestion
+/// signals from then on (the attack of Figure 1). inflate_level <= 0 means
+/// "all groups".
+class inflating_plain_strategy : public subscription_strategy {
+ public:
+  explicit inflating_plain_strategy(sim::time_ns inflate_at,
+                                    int inflate_level = 0)
+      : inflate_at_(inflate_at), inflate_level_(inflate_level) {}
+  void session_start(flid_receiver& r) override;
+  int on_slot(flid_receiver& r, const slot_summary& s) override;
+
+ private:
+  sim::time_ns inflate_at_;
+  int inflate_level_;
+  bool inflated_ = false;
+};
+
+}  // namespace mcc::flid
+
+#endif  // MCC_FLID_FLID_RECEIVER_H

@@ -1,0 +1,66 @@
+// IGMP-style group membership at edge routers, and the host-side client.
+//
+// This models the paper's baseline world: IGMP "does not restrict the
+// ability of receivers to subscribe to multicast groups" — any join for any
+// known group address is honoured. The single restriction implemented here is
+// the SIGMA deployment rule of paper section 3.2.3: an edge router that runs
+// SIGMA refuses plain IGMP joins for SIGMA-protected groups.
+#ifndef MCC_MCAST_IGMP_H
+#define MCC_MCAST_IGMP_H
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace mcc::mcast {
+
+/// Edge-router agent handling igmp_msg join/leave from local interfaces.
+class igmp_agent : public sim::agent {
+ public:
+  igmp_agent(sim::network& net, sim::node_id router);
+
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+
+  /// Programmatic join/leave on behalf of a local interface (used by SIGMA,
+  /// which performs its own validation and then drives the same tree logic).
+  void join(sim::group_addr g, sim::link* host_iface);
+  void leave(sim::group_addr g, sim::link* host_iface);
+
+  struct counters {
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t refused_protected = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ private:
+  sim::network& net_;
+  sim::node_id router_;
+  counters stats_;
+};
+
+/// Host-side membership client: updates local subscription state and sends
+/// IGMP messages to the edge router.
+class membership_client {
+ public:
+  membership_client(sim::network& net, sim::node_id host, sim::node_id router);
+
+  void join(sim::group_addr g);
+  void leave(sim::group_addr g);
+
+  [[nodiscard]] sim::node_id router() const { return router_; }
+
+  /// Size of an IGMP control packet on the wire.
+  static constexpr int igmp_packet_bytes = 40;
+
+ private:
+  void send(sim::igmp_msg::op op, sim::group_addr g);
+
+  sim::network& net_;
+  sim::node_id host_;
+  sim::node_id router_;
+};
+
+}  // namespace mcc::mcast
+
+#endif  // MCC_MCAST_IGMP_H

@@ -1,0 +1,64 @@
+#include "sim/link.h"
+
+#include "sim/node.h"
+
+namespace mcc::sim {
+
+namespace {
+constexpr std::int64_t default_queue_bytes(double bps) {
+  // Two bandwidth-delay products at a nominal 100 ms RTT.
+  return static_cast<std::int64_t>(2.0 * bps * 0.1 / 8.0);
+}
+}  // namespace
+
+link::link(scheduler& sched, node* from, node* to, const link_config& cfg)
+    : sched_(sched), from_(from), to_(to), cfg_(cfg) {
+  util::require(cfg_.bps > 0, "link: rate must be positive");
+  util::require(cfg_.delay >= 0, "link: negative propagation delay");
+  if (cfg_.queue_capacity_bytes <= 0) {
+    cfg_.queue_capacity_bytes = default_queue_bytes(cfg_.bps);
+  }
+}
+
+void link::transmit(packet p) {
+  if (queued_bytes_ + p.size_bytes > cfg_.queue_capacity_bytes) {
+    ++stats_.dropped;
+    return;
+  }
+  if (cfg_.discipline == qdisc::ecn_threshold && p.ecn_capable &&
+      static_cast<double>(queued_bytes_) >
+          cfg_.ecn_threshold_fraction *
+              static_cast<double>(cfg_.queue_capacity_bytes)) {
+    p.ecn_marked = true;
+    ++stats_.ecn_marked;
+  }
+  ++stats_.enqueued;
+  queued_bytes_ += p.size_bytes;
+  queue_.push_back(std::move(p));
+  if (!busy_) start_transmission();
+}
+
+void link::start_transmission() {
+  util::require(!queue_.empty(), "link: transmission with empty queue");
+  busy_ = true;
+  packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= p.size_bytes;
+  const time_ns tx = transmission_time(p.size_bytes, cfg_.bps);
+  // After serialization completes, the packet propagates while the link head
+  // becomes free for the next packet.
+  sched_.after(tx, [this, p = std::move(p)]() mutable {
+    ++stats_.delivered;
+    stats_.bytes_delivered += p.size_bytes;
+    sched_.after(cfg_.delay, [this, p = std::move(p)]() mutable {
+      to_->receive(std::move(p), this);
+    });
+    if (!queue_.empty()) {
+      start_transmission();
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+}  // namespace mcc::sim

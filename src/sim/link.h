@@ -1,0 +1,77 @@
+// Unidirectional point-to-point link with serialization delay, propagation
+// delay, and a finite drop-tail queue (optionally ECN threshold marking).
+#ifndef MCC_SIM_LINK_H
+#define MCC_SIM_LINK_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "sim/wire.h"
+
+namespace mcc::sim {
+
+class node;
+
+/// Queueing discipline for the link's output buffer.
+enum class qdisc {
+  droptail,
+  /// Drop-tail + ECN: mark ECN-capable packets when occupancy exceeds
+  /// ecn_threshold_fraction of capacity (simplified RED used for the
+  /// DELTA ECN variant of paper section 3.1.2).
+  ecn_threshold,
+};
+
+struct link_config {
+  double bps = 10e6;                      // line rate, bits/second
+  time_ns delay = milliseconds(10);       // propagation delay
+  std::int64_t queue_capacity_bytes = 0;  // 0 = pick 2 BDP at 100 ms
+  qdisc discipline = qdisc::droptail;
+  double ecn_threshold_fraction = 0.5;
+};
+
+/// One direction of a wire. Created in pairs by network::connect().
+class link {
+ public:
+  link(scheduler& sched, node* from, node* to, const link_config& cfg);
+  link(const link&) = delete;
+  link& operator=(const link&) = delete;
+
+  /// Hands a packet to the link for transmission; may drop (queue full).
+  void transmit(packet p);
+
+  [[nodiscard]] node* from() const { return from_; }
+  [[nodiscard]] node* to() const { return to_; }
+  [[nodiscard]] link* reverse() const { return reverse_; }
+  void set_reverse(link* r) { reverse_ = r; }
+
+  [[nodiscard]] const link_config& config() const { return cfg_; }
+  [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
+
+  struct counters {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t ecn_marked = 0;
+    std::int64_t bytes_delivered = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ private:
+  void start_transmission();
+
+  scheduler& sched_;
+  node* from_;
+  node* to_;
+  link* reverse_ = nullptr;
+  link_config cfg_;
+  std::deque<packet> queue_;
+  std::int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  counters stats_;
+};
+
+}  // namespace mcc::sim
+
+#endif  // MCC_SIM_LINK_H

@@ -1,0 +1,121 @@
+#include "sim/node.h"
+
+#include <algorithm>
+
+#include "sim/network.h"
+
+namespace mcc::sim {
+
+node::node(network& net, node_id id, std::string name, bool is_router)
+    : net_(net), id_(id), name_(std::move(name)), router_(is_router) {}
+
+void node::remove_agent(agent* a) {
+  agents_.erase(std::remove(agents_.begin(), agents_.end(), a), agents_.end());
+}
+
+void node::graft(group_addr g, link* oif) { mcast_oifs_[g].insert(oif); }
+
+void node::prune(group_addr g, link* oif) {
+  auto it = mcast_oifs_.find(g);
+  if (it == mcast_oifs_.end()) return;
+  it->second.erase(oif);
+  if (it->second.empty()) mcast_oifs_.erase(it);
+}
+
+bool node::has_oif(group_addr g, link* oif) const {
+  auto it = mcast_oifs_.find(g);
+  return it != mcast_oifs_.end() && it->second.contains(oif);
+}
+
+const std::set<link*>* node::oifs(group_addr g) const {
+  auto it = mcast_oifs_.find(g);
+  return it == mcast_oifs_.end() ? nullptr : &it->second;
+}
+
+int node::oif_count(group_addr g) const {
+  const auto* s = oifs(g);
+  return s == nullptr ? 0 : static_cast<int>(s->size());
+}
+
+void node::send(packet p) {
+  util::require(!out_links_.empty(), "node::send: node has no links");
+  p.src = id_;
+  if (p.uid == 0) p.uid = net_.new_packet_uid();
+  if (p.dst.is_multicast() || p.dst.id == id_) {
+    // Multicast packets originate on the access link; hosts are single-homed
+    // in all our topologies (routers forward, they do not originate
+    // multicast).
+    util::require(is_host(), "node::send: only hosts originate multicast");
+    out_links_.front()->transmit(std::move(p));
+  } else {
+    link* l = net_.next_hop(id_, p.dst.id);
+    util::require(l != nullptr, "node::send: no route", name_);
+    l->transmit(std::move(p));
+  }
+}
+
+void node::receive(packet p, link* from) {
+  if (is_host()) {
+    const bool for_us =
+        (!p.dst.is_multicast() && p.dst.id == id_) ||
+        (p.dst.is_multicast() && host_subscribed(p.dst.group()));
+    if (!for_us || p.router_alert) return;  // alert packets never reach hosts
+    ++stats_.delivered_local;
+    deliver_local(p, from);
+    return;
+  }
+  // Router path.
+  if (p.router_alert && alert_interceptor_ != nullptr) {
+    alert_interceptor_->handle_packet(p, from);
+    // Interception does not consume: the special packet continues along the
+    // tree so downstream edge routers receive it too.
+  }
+  if (!p.dst.is_multicast()) {
+    if (p.dst.id == id_) {
+      ++stats_.delivered_local;
+      deliver_local(p, from);
+      return;
+    }
+    link* l = net_.next_hop(id_, p.dst.id);
+    if (l == nullptr) {
+      ++stats_.no_route;
+      return;
+    }
+    ++stats_.forwarded_unicast;
+    l->transmit(std::move(p));
+    return;
+  }
+  forward(std::move(p), from);
+}
+
+void node::deliver_local(const packet& p, link* from) {
+  for (agent* a : agents_) {
+    if (a->handle_packet(p, from)) return;
+  }
+}
+
+void node::forward(packet p, link* from) {
+  const auto* out = oifs(p.dst.group());
+  if (out == nullptr) return;
+  // Copy the oif set: policy callbacks may trigger grafts/prunes.
+  const std::vector<link*> targets(out->begin(), out->end());
+  for (link* oif : targets) {
+    if (oif == nullptr || (from != nullptr && oif == from->reverse())) continue;
+    const bool host_facing = oif->to()->is_host();
+    if (host_facing) {
+      if (p.router_alert) continue;  // never deliver special packets to hosts
+      packet branch_copy = p;
+      if (policy_ != nullptr && !policy_->allow(branch_copy, oif)) {
+        ++stats_.policy_denied;
+        continue;
+      }
+      ++stats_.forwarded_multicast;
+      oif->transmit(std::move(branch_copy));
+      continue;
+    }
+    ++stats_.forwarded_multicast;
+    oif->transmit(p);  // copy per branch
+  }
+}
+
+}  // namespace mcc::sim

@@ -1,0 +1,121 @@
+// Discrete-event scheduler: a time-ordered queue of callbacks.
+//
+// Events at equal timestamps fire in scheduling order (FIFO tie-break via a
+// monotone sequence number) so runs are deterministic.
+#ifndef MCC_SIM_SCHEDULER_H
+#define MCC_SIM_SCHEDULER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/require.h"
+
+namespace mcc::sim {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert.
+class event_handle {
+ public:
+  event_handle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto rec = record_.lock()) *rec = true;
+    record_.reset();
+  }
+
+  /// True if the handle still refers to a pending, uncancelled event.
+  [[nodiscard]] bool pending() const {
+    auto rec = record_.lock();
+    return rec != nullptr && !*rec;
+  }
+
+ private:
+  friend class scheduler;
+  explicit event_handle(std::weak_ptr<bool> record) : record_(std::move(record)) {}
+  std::weak_ptr<bool> record_;  // points at the "cancelled" flag
+};
+
+/// The event queue. All simulation modules share one scheduler.
+class scheduler {
+ public:
+  scheduler() = default;
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+  [[nodiscard]] time_ns now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  event_handle at(time_ns when, std::function<void()> fn) {
+    util::require(when >= now_, "scheduler: event scheduled in the past");
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(entry{when, next_seq_++, std::move(fn), cancelled});
+    return event_handle(cancelled);
+  }
+
+  /// Schedules `fn` after a relative delay.
+  event_handle after(time_ns delay, std::function<void()> fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or simulated time would pass `until`.
+  /// Leaves now() == until when the horizon is reached.
+  void run_until(time_ns until) {
+    while (!queue_.empty()) {
+      const entry& top = queue_.top();
+      if (top.when > until) break;
+      if (*top.cancelled) {
+        queue_.pop();
+        continue;
+      }
+      entry current = top;  // copy out before pop invalidates the reference
+      queue_.pop();
+      now_ = current.when;
+      executed_++;
+      current.fn();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  /// Runs until the queue is empty.
+  void run() {
+    while (!queue_.empty()) {
+      entry current = queue_.top();
+      queue_.pop();
+      if (*current.cancelled) continue;
+      now_ = current.when;
+      executed_++;
+      current.fn();
+    }
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct entry {
+    time_ns when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct later {
+    bool operator()(const entry& a, const entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  time_ns now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<entry, std::vector<entry>, later> queue_;
+};
+
+}  // namespace mcc::sim
+
+#endif  // MCC_SIM_SCHEDULER_H

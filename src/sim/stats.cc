@@ -1,0 +1,66 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace mcc::sim {
+
+throughput_monitor::throughput_monitor(scheduler& sched, time_ns bin_width)
+    : sched_(sched), bin_width_(bin_width) {
+  util::require(bin_width > 0, "throughput_monitor: bad bin width");
+}
+
+void throughput_monitor::on_bytes(std::int64_t bytes) {
+  const auto bin = static_cast<std::size_t>(sched_.now() / bin_width_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+  bins_[bin] += bytes;
+  total_ += bytes;
+}
+
+double throughput_monitor::average_kbps(time_ns t0, time_ns t1) const {
+  util::require(t1 > t0, "average_kbps: empty interval");
+  std::int64_t bytes = 0;
+  const auto first = static_cast<std::size_t>(t0 / bin_width_);
+  const auto last = static_cast<std::size_t>((t1 - 1) / bin_width_);
+  for (std::size_t b = first; b <= last && b < bins_.size(); ++b) {
+    bytes += bins_[b];
+  }
+  const double dur_s = to_seconds(t1 - t0);
+  return static_cast<double>(bytes) * 8.0 / dur_s / 1e3;
+}
+
+std::vector<std::pair<double, double>> throughput_monitor::series_kbps(
+    time_ns window) const {
+  std::vector<std::pair<double, double>> out;
+  if (bins_.empty()) return out;
+  const auto half = std::max<std::int64_t>(window / bin_width_ / 2, 0);
+  const auto n = static_cast<std::int64_t>(bins_.size());
+  out.reserve(bins_.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t lo = std::max<std::int64_t>(0, i - half);
+    const std::int64_t hi = std::min<std::int64_t>(n - 1, i + half);
+    std::int64_t bytes = 0;
+    for (std::int64_t b = lo; b <= hi; ++b) {
+      bytes += bins_[static_cast<std::size_t>(b)];
+    }
+    const double dur_s = to_seconds((hi - lo + 1) * bin_width_);
+    const double t = to_seconds((i * bin_width_) + bin_width_ / 2);
+    out.emplace_back(t, static_cast<double>(bytes) * 8.0 / dur_s / 1e3);
+  }
+  return out;
+}
+
+double jain_fairness_index(std::span<const double> rates) {
+  util::require(!rates.empty(), "jain_fairness_index: no rates");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double r : rates) {
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+}  // namespace mcc::sim

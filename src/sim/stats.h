@@ -1,0 +1,47 @@
+// Measurement helpers: per-receiver throughput monitors and fairness metrics.
+#ifndef MCC_SIM_STATS_H
+#define MCC_SIM_STATS_H
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace mcc::sim {
+
+/// Accumulates received bytes into fixed-width time bins; supports averages
+/// over intervals and smoothed kbps time series (for figure outputs).
+class throughput_monitor {
+ public:
+  explicit throughput_monitor(scheduler& sched,
+                              time_ns bin_width = milliseconds(1000));
+
+  /// Records payload bytes received at the current simulation time.
+  void on_bytes(std::int64_t bytes);
+
+  [[nodiscard]] std::int64_t total_bytes() const { return total_; }
+
+  /// Mean goodput in Kbps over [t0, t1).
+  [[nodiscard]] double average_kbps(time_ns t0, time_ns t1) const;
+
+  /// Smoothed series: (time seconds, kbps) once per bin, averaged over a
+  /// centred window of `window` duration.
+  [[nodiscard]] std::vector<std::pair<double, double>> series_kbps(
+      time_ns window = milliseconds(5000)) const;
+
+ private:
+  scheduler& sched_;
+  time_ns bin_width_;
+  std::vector<std::int64_t> bins_;
+  std::int64_t total_ = 0;
+};
+
+/// Jain's fairness index over a set of rates: (sum x)^2 / (n * sum x^2).
+[[nodiscard]] double jain_fairness_index(std::span<const double> rates);
+
+}  // namespace mcc::sim
+
+#endif  // MCC_SIM_STATS_H

@@ -1,0 +1,30 @@
+// Simulation time: integer nanoseconds for exact determinism.
+#ifndef MCC_SIM_TIME_H
+#define MCC_SIM_TIME_H
+
+#include <cstdint>
+
+namespace mcc::sim {
+
+/// Absolute simulation time / duration in nanoseconds.
+using time_ns = std::int64_t;
+
+constexpr time_ns nanoseconds(std::int64_t n) { return n; }
+constexpr time_ns microseconds(std::int64_t us) { return us * 1'000; }
+constexpr time_ns milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+constexpr time_ns seconds(double s) {
+  return static_cast<time_ns>(s * 1e9);
+}
+
+constexpr double to_seconds(time_ns t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_millis(time_ns t) { return static_cast<double>(t) * 1e-6; }
+
+/// Transmission (serialization) time of `bytes` at `bits_per_second`.
+constexpr time_ns transmission_time(int bytes, double bits_per_second) {
+  return static_cast<time_ns>(static_cast<double>(bytes) * 8.0 /
+                              bits_per_second * 1e9);
+}
+
+}  // namespace mcc::sim
+
+#endif  // MCC_SIM_TIME_H

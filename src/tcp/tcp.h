@@ -1,0 +1,107 @@
+// TCP Reno: slow start, congestion avoidance, fast retransmit, fast recovery,
+// retransmission timeout with exponential backoff (ns-2 style, sequence
+// numbers count segments).
+//
+// This is the competing unicast workload of the paper's evaluation (receivers
+// T1, T2 in Figures 1 and 7, and the n TCP sessions in Figure 8(d)).
+#ifndef MCC_TCP_TCP_H
+#define MCC_TCP_TCP_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "sim/network.h"
+#include "sim/stats.h"
+
+namespace mcc::tcp {
+
+struct tcp_config {
+  int flow_id = 0;
+  int segment_bytes = 576;  // wire size of a data segment
+  int ack_bytes = 40;
+  double initial_cwnd = 1.0;       // segments
+  double initial_ssthresh = 64.0;  // segments
+  int dupack_threshold = 3;
+  sim::time_ns min_rto = sim::milliseconds(200);
+  sim::time_ns max_rto = sim::seconds(60.0);
+  sim::time_ns start_time = 0;
+};
+
+/// Receiving endpoint: cumulative ACKs, out-of-order buffering, goodput
+/// accounting (in-order delivered payload).
+class tcp_sink : public sim::agent {
+ public:
+  tcp_sink(sim::network& net, sim::node_id host, int flow_id, int ack_bytes);
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+
+  [[nodiscard]] sim::throughput_monitor& monitor() { return monitor_; }
+  [[nodiscard]] std::int64_t next_expected() const { return next_expected_; }
+
+ private:
+  sim::network& net_;
+  sim::node_id host_;
+  int flow_id_;
+  int ack_bytes_;
+  std::int64_t next_expected_ = 0;
+  std::set<std::int64_t> out_of_order_;
+  sim::throughput_monitor monitor_;
+};
+
+/// Sending endpoint (infinite backlog, FTP-style).
+class tcp_sender : public sim::agent {
+ public:
+  tcp_sender(sim::network& net, sim::node_id host, sim::node_id peer,
+             const tcp_config& cfg);
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool in_fast_recovery() const { return in_recovery_; }
+
+  struct counters {
+    std::uint64_t segments_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t fast_recoveries = 0;
+    std::uint64_t acks_received = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ private:
+  void try_send();
+  void send_segment(std::int64_t seq, bool retransmission);
+  void on_ack(std::int64_t ack);
+  void arm_timer();
+  void on_timeout();
+  void sample_rtt(sim::time_ns sample);
+  [[nodiscard]] sim::time_ns rto() const;
+
+  sim::network& net_;
+  sim::node_id host_;
+  sim::node_id peer_;
+  tcp_config cfg_;
+
+  std::int64_t next_seq_ = 0;  // next new segment to transmit
+  std::int64_t snd_una_ = 0;   // lowest unacknowledged segment
+  double cwnd_;
+  double ssthresh_;
+  int dup_count_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+
+  // RTT estimation (Karn: only one timed, never-retransmitted segment).
+  bool rtt_valid_ = false;
+  double srtt_s_ = 0.0;
+  double rttvar_s_ = 0.0;
+  std::int64_t timed_seq_ = -1;
+  sim::time_ns timed_sent_at_ = 0;
+  int backoff_ = 1;
+
+  sim::event_handle timer_;
+  counters stats_;
+};
+
+}  // namespace mcc::tcp
+
+#endif  // MCC_TCP_TCP_H

@@ -1,0 +1,60 @@
+// On-off constant-bit-rate traffic (cross traffic in paper Figures 8(d)
+// and 8(e)).
+#ifndef MCC_TRAFFIC_CBR_H
+#define MCC_TRAFFIC_CBR_H
+
+#include <cstdint>
+
+#include "sim/network.h"
+#include "sim/stats.h"
+
+namespace mcc::traffic {
+
+struct cbr_config {
+  int flow_id = 0;
+  int packet_bytes = 576;
+  double rate_bps = 100e3;  // transmission rate during on-periods
+  sim::time_ns start_time = 0;
+  sim::time_ns stop_time = sim::seconds(1e9);  // effectively forever
+  /// on/off alternation; on_duration == 0 means continuously on.
+  sim::time_ns on_duration = 0;
+  sim::time_ns off_duration = 0;
+};
+
+class cbr_sink : public sim::agent {
+ public:
+  cbr_sink(sim::network& net, sim::node_id host, int flow_id);
+  bool handle_packet(const sim::packet& p, sim::link* arrival) override;
+  [[nodiscard]] sim::throughput_monitor& monitor() { return monitor_; }
+
+ private:
+  sim::node_id host_;
+  int flow_id_;
+  sim::throughput_monitor monitor_;
+};
+
+class cbr_source {
+ public:
+  cbr_source(sim::network& net, sim::node_id host, sim::node_id peer,
+             const cbr_config& cfg);
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void send_next();
+  /// True if the source is within an on-period at time t.
+  [[nodiscard]] bool on_at(sim::time_ns t) const;
+  /// Start of the next on-period at or after t (or stop_time if none).
+  [[nodiscard]] sim::time_ns next_on_start(sim::time_ns t) const;
+
+  sim::network& net_;
+  sim::node_id host_;
+  sim::node_id peer_;
+  cbr_config cfg_;
+  std::int64_t seq_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace mcc::traffic
+
+#endif  // MCC_TRAFFIC_CBR_H

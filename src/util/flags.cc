@@ -1,0 +1,90 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace mcc::util {
+
+flag_set::flag_set(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void flag_set::add(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  require(!entries_.contains(name), "duplicate flag", name);
+  entries_[name] = entry{default_value, default_value, help};
+}
+
+bool flag_set::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name;
+    std::string value;
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      auto it = entries_.find(name);
+      if (it == entries_.end()) {
+        std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+        print_usage();
+        return false;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        print_usage();
+        return false;
+      }
+      value = argv[++i];
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage();
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string flag_set::str(const std::string& name) const {
+  auto it = entries_.find(name);
+  require(it != entries_.end(), "undeclared flag", name);
+  return it->second.value;
+}
+
+std::int64_t flag_set::i64(const std::string& name) const {
+  return std::stoll(str(name));
+}
+
+double flag_set::f64(const std::string& name) const {
+  return std::stod(str(name));
+}
+
+bool flag_set::boolean(const std::string& name) const {
+  auto v = str(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+void flag_set::print_usage() const {
+  if (!description_.empty()) std::fprintf(stderr, "%s\n", description_.c_str());
+  std::fprintf(stderr, "flags:\n");
+  for (const auto& [name, e] : entries_) {
+    std::fprintf(stderr, "  --%s (default: %s)  %s\n", name.c_str(),
+                 e.default_value.c_str(), e.help.c_str());
+  }
+}
+
+}  // namespace mcc::util

@@ -1,0 +1,54 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Flags are declared with a default and a help string, then parsed from
+// `--name=value` or `--name value` arguments. `--help` prints usage.
+#ifndef MCC_UTIL_FLAGS_H
+#define MCC_UTIL_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcc::util {
+
+/// Declarative set of command-line flags with typed accessors.
+class flag_set {
+ public:
+  explicit flag_set(std::string program_description = "");
+
+  /// Declares a flag; `default_value` doubles as the type hint for usage text.
+  void add(const std::string& name, const std::string& default_value,
+           const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on `--help` or on an
+  /// unknown/malformed flag.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::int64_t i64(const std::string& name) const;
+  [[nodiscard]] double f64(const std::string& name) const;
+  [[nodiscard]] bool boolean(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  void print_usage() const;
+
+ private:
+  struct entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string description_;
+  std::map<std::string, entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcc::util
+
+#endif  // MCC_UTIL_FLAGS_H

@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace mcc::util {
+
+namespace {
+log_level g_level = log_level::warn;
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::debug:
+      return "DEBUG";
+    case log_level::info:
+      return "INFO";
+    case log_level::warn:
+      return "WARN";
+    case log_level::error:
+      return "ERROR";
+    case log_level::off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+log_level get_log_level() { return g_level; }
+
+namespace detail {
+void emit_log_line(log_level level, const std::string& line) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
+}
+}  // namespace detail
+
+}  // namespace mcc::util

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: MCC_LOG(info) << "joined group " << g;
+// The stream is flushed as one line when the temporary dies.
+#ifndef MCC_UTIL_LOGGING_H
+#define MCC_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace mcc::util {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+namespace detail {
+void emit_log_line(log_level level, const std::string& line);
+}
+
+/// One log statement; accumulates into a buffer, emits on destruction.
+class log_line {
+ public:
+  explicit log_line(log_level level) : level_(level) {}
+  log_line(const log_line&) = delete;
+  log_line& operator=(const log_line&) = delete;
+  ~log_line() {
+    if (level_ >= get_log_level()) detail::emit_log_line(level_, os_.str());
+  }
+
+  template <typename T>
+  log_line& operator<<(const T& value) {
+    if (level_ >= get_log_level()) os_ << value;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace mcc::util
+
+#define MCC_LOG(severity) \
+  ::mcc::util::log_line(::mcc::util::log_level::severity)
+
+#endif  // MCC_UTIL_LOGGING_H

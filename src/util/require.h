@@ -1,0 +1,37 @@
+// Invariant checking helpers (always on, including release builds).
+//
+// The simulator is deterministic, so a violated invariant is a programming
+// error that should surface immediately rather than corrupt an experiment.
+#ifndef MCC_UTIL_REQUIRE_H
+#define MCC_UTIL_REQUIRE_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcc::util {
+
+/// Thrown when a checked invariant fails.
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a precondition/invariant; throws invariant_error on failure.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw invariant_error(what);
+}
+
+/// require() with value context appended to the message.
+template <typename T>
+void require(bool condition, const std::string& what, const T& context) {
+  if (!condition) {
+    std::ostringstream os;
+    os << what << " (" << context << ")";
+    throw invariant_error(os.str());
+  }
+}
+
+}  // namespace mcc::util
+
+#endif  // MCC_UTIL_REQUIRE_H

@@ -1,0 +1,105 @@
+// End-to-end reproduction of the paper's headline result, scaled down for
+// test runtime: inflated subscription steals bandwidth under FLID-DL
+// (Figure 1) and is prevented under FLID-DS (Figure 7).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "exp/scenario.h"
+#include "sim/stats.h"
+
+namespace mcc::exp {
+namespace {
+
+struct attack_result {
+  double attacker_kbps;
+  double victim_kbps;
+  double tcp1_kbps;
+  double tcp2_kbps;
+  double fairness;
+};
+
+attack_result run_attack(flid_mode mode, sim::time_ns horizon,
+                         sim::time_ns inflate_at) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;  // paper: 1 Mbps bottleneck, 4 sessions
+  cfg.seed = 7;
+  dumbbell d(cfg);
+  receiver_options attacker;
+  attacker.inflate = true;
+  attacker.inflate_at = inflate_at;
+  auto& f1 = d.add_flid_session(mode, {attacker});
+  auto& f2 = d.add_flid_session(mode, {receiver_options{}});
+  auto& t1 = d.add_tcp_flow();
+  auto& t2 = d.add_tcp_flow();
+  d.run_until(horizon);
+
+  attack_result r{};
+  const sim::time_ns t0 = inflate_at + sim::seconds(10.0);
+  r.attacker_kbps = f1.receiver().monitor().average_kbps(t0, horizon);
+  r.victim_kbps = f2.receiver().monitor().average_kbps(t0, horizon);
+  r.tcp1_kbps = t1.sink->monitor().average_kbps(t0, horizon);
+  r.tcp2_kbps = t2.sink->monitor().average_kbps(t0, horizon);
+  const std::array<double, 4> rates = {r.attacker_kbps, r.victim_kbps,
+                                       r.tcp1_kbps, r.tcp2_kbps};
+  r.fairness = sim::jain_fairness_index(rates);
+  return r;
+}
+
+TEST(attack_integration, inflated_subscription_steals_bandwidth_in_flid_dl) {
+  const auto r = run_attack(flid_mode::dl, sim::seconds(120.0),
+                            sim::seconds(40.0));
+  // Figure 1 shape: the attacker grabs most of the 1 Mbps bottleneck
+  // (paper: 690 Kbps) while everyone else is crushed.
+  EXPECT_GT(r.attacker_kbps, 450.0);
+  EXPECT_GT(r.attacker_kbps, 2.0 * r.victim_kbps);
+  EXPECT_GT(r.attacker_kbps, 2.0 * r.tcp1_kbps);
+  EXPECT_LT(r.fairness, 0.75);
+}
+
+TEST(attack_integration, flid_ds_preserves_fairness_under_attack) {
+  const auto r = run_attack(flid_mode::ds, sim::seconds(120.0),
+                            sim::seconds(40.0));
+  // Figure 7 shape: the attacker gains nothing; allocation stays fair.
+  EXPECT_LT(r.attacker_kbps, 400.0);
+  EXPECT_GT(r.victim_kbps, 100.0);
+  EXPECT_GT(r.tcp1_kbps, 100.0);
+  EXPECT_GT(r.fairness, 0.8);
+}
+
+TEST(attack_integration, protection_beats_no_protection) {
+  const auto dl = run_attack(flid_mode::dl, sim::seconds(120.0),
+                             sim::seconds(40.0));
+  const auto ds = run_attack(flid_mode::ds, sim::seconds(120.0),
+                             sim::seconds(40.0));
+  EXPECT_GT(ds.fairness, dl.fairness);
+  EXPECT_LT(ds.attacker_kbps, dl.attacker_kbps);
+  EXPECT_GT(ds.victim_kbps, dl.victim_kbps * 0.9);
+}
+
+TEST(attack_integration, honest_world_is_fair_in_both_modes) {
+  for (const flid_mode mode : {flid_mode::dl, flid_mode::ds}) {
+    dumbbell_config cfg;
+    cfg.bottleneck_bps = 1e6;
+    dumbbell d(cfg);
+    auto& f1 = d.add_flid_session(mode, {receiver_options{}});
+    auto& f2 = d.add_flid_session(mode, {receiver_options{}});
+    auto& t1 = d.add_tcp_flow();
+    auto& t2 = d.add_tcp_flow();
+    d.run_until(sim::seconds(100.0));
+    const sim::time_ns t0 = sim::seconds(30.0);
+    const sim::time_ns t1end = sim::seconds(100.0);
+    const std::array<double, 4> rates = {
+        f1.receiver().monitor().average_kbps(t0, t1end),
+        f2.receiver().monitor().average_kbps(t0, t1end),
+        t1.sink->monitor().average_kbps(t0, t1end),
+        t2.sink->monitor().average_kbps(t0, t1end)};
+    EXPECT_GT(sim::jain_fairness_index(rates), 0.7)
+        << "mode " << static_cast<int>(mode);
+    // The bottleneck is well used.
+    EXPECT_GT(rates[0] + rates[1] + rates[2] + rates[3], 600.0);
+  }
+}
+
+}  // namespace
+}  // namespace mcc::exp

@@ -1,0 +1,89 @@
+#include "traffic/cbr.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mcc::traffic {
+namespace {
+
+using mcc::testing::line_topology;
+
+TEST(cbr, steady_rate_matches_config) {
+  sim::scheduler sched;
+  line_topology topo(sched, 10e6, sim::milliseconds(5));
+  cbr_config cfg;
+  cfg.flow_id = 1;
+  cfg.rate_bps = 400e3;
+  cfg.packet_bytes = 500;
+  cbr_sink sink(topo.net, topo.h2, 1);
+  cbr_source src(topo.net, topo.h1, topo.h2, cfg);
+  sched.run_until(sim::seconds(10.0));
+  EXPECT_NEAR(sink.monitor().average_kbps(sim::seconds(1.0), sim::seconds(10.0)),
+              400.0, 10.0);
+}
+
+TEST(cbr, respects_start_and_stop_times) {
+  sim::scheduler sched;
+  line_topology topo(sched, 10e6, sim::milliseconds(5));
+  cbr_config cfg;
+  cfg.flow_id = 1;
+  cfg.rate_bps = 200e3;
+  cfg.start_time = sim::seconds(2.0);
+  cfg.stop_time = sim::seconds(4.0);
+  cbr_sink sink(topo.net, topo.h2, 1);
+  cbr_source src(topo.net, topo.h1, topo.h2, cfg);
+  sched.run_until(sim::seconds(6.0));
+  EXPECT_DOUBLE_EQ(sink.monitor().average_kbps(0, sim::seconds(1.9)), 0.0);
+  EXPECT_NEAR(sink.monitor().average_kbps(sim::seconds(2.0), sim::seconds(4.0)),
+              200.0, 15.0);
+  EXPECT_NEAR(sink.monitor().average_kbps(sim::seconds(4.5), sim::seconds(6.0)),
+              0.0, 5.0);
+}
+
+TEST(cbr, on_off_duty_cycle_halves_average_rate) {
+  sim::scheduler sched;
+  line_topology topo(sched, 10e6, sim::milliseconds(5));
+  cbr_config cfg;
+  cfg.flow_id = 1;
+  cfg.rate_bps = 400e3;
+  cfg.on_duration = sim::seconds(5.0);
+  cfg.off_duration = sim::seconds(5.0);
+  cbr_sink sink(topo.net, topo.h2, 1);
+  cbr_source src(topo.net, topo.h1, topo.h2, cfg);
+  sched.run_until(sim::seconds(40.0));
+  // Duty cycle 50%: long-run average is half the on-rate.
+  EXPECT_NEAR(sink.monitor().average_kbps(0, sim::seconds(40.0)), 200.0, 20.0);
+  // During an on-period the instantaneous rate is the configured one.
+  EXPECT_NEAR(sink.monitor().average_kbps(sim::seconds(11.0), sim::seconds(14.0)),
+              400.0, 25.0);
+  // During an off-period nothing arrives.
+  EXPECT_NEAR(sink.monitor().average_kbps(sim::seconds(16.0), sim::seconds(19.0)),
+              0.0, 5.0);
+}
+
+TEST(cbr, packet_count_matches_rate_and_duration) {
+  sim::scheduler sched;
+  line_topology topo(sched, 10e6, sim::milliseconds(5));
+  cbr_config cfg;
+  cfg.flow_id = 1;
+  cfg.rate_bps = 100e3;
+  cfg.packet_bytes = 1250;  // 10 packets/second
+  cfg.stop_time = sim::seconds(10.0);
+  cbr_sink sink(topo.net, topo.h2, 1);
+  cbr_source src(topo.net, topo.h1, topo.h2, cfg);
+  sched.run_until(sim::seconds(12.0));
+  EXPECT_NEAR(static_cast<double>(src.packets_sent()), 100.0, 2.0);
+}
+
+TEST(cbr, rejects_nonpositive_rate) {
+  sim::scheduler sched;
+  line_topology topo(sched);
+  cbr_config cfg;
+  cfg.rate_bps = 0;
+  EXPECT_THROW(cbr_source(topo.net, topo.h1, topo.h2, cfg),
+               util::invariant_error);
+}
+
+}  // namespace
+}  // namespace mcc::traffic

@@ -1,0 +1,130 @@
+// DELTA ECN variant (paper section 3.1.2, "Congestion notification"):
+// with an ECN-marking bottleneck, the edge router scrubs the component
+// fields of marked packets so ineligible receivers cannot reconstruct group
+// keys from them, and honest receivers treat marks as congestion.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+
+namespace mcc::core {
+namespace {
+
+using exp::dumbbell;
+using exp::dumbbell_config;
+using exp::flid_mode;
+using exp::receiver_options;
+
+/// Dumbbell with an ECN-threshold bottleneck queue.
+std::unique_ptr<dumbbell> make_ecn_dumbbell(double bps, std::uint64_t seed) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = bps;
+  cfg.seed = seed;
+  auto d = std::make_unique<dumbbell>(cfg);
+  // Rebuilding the link config is not exposed; instead we exercise the
+  // marking path through a dedicated topology below. This helper keeps the
+  // droptail default for comparison runs.
+  return d;
+}
+
+TEST(ecn, marked_packets_are_scrubbed_at_the_edge) {
+  // Build a small topology with an ECN bottleneck directly.
+  sim::scheduler sched;
+  sim::network net(sched);
+  const auto src = net.add_host("src");
+  const auto r1 = net.add_router("r1");
+  const auto r2 = net.add_router("r2");
+  const auto dst = net.add_host("dst");
+  sim::link_config fat;
+  fat.bps = 10e6;
+  fat.delay = sim::milliseconds(10);
+  sim::link_config thin;
+  thin.bps = 300e3;  // below the session's demand once it climbs
+  thin.delay = sim::milliseconds(20);
+  thin.discipline = sim::qdisc::ecn_threshold;
+  thin.ecn_threshold_fraction = 0.3;
+  net.connect(src, r1, fat);
+  net.connect(r1, r2, thin);
+  net.connect(r2, dst, fat);
+  net.finalize_routing();
+
+  mcast::igmp_agent igmp(net, r2);
+  sigma_router_agent sigma(net, r2, igmp);
+  sigma.set_ecn_scrub(true);
+
+  flid::flid_config fc;
+  fc.session_id = 3;
+  fc.group_addr_base = 7000;
+  fc.slot_duration = sim::milliseconds(250);
+  flid::flid_sender sender(net, src, fc, 5);
+  auto ds = make_flid_ds_sender(net, src, sender, 6);
+  sender.start(0);
+
+  flid::flid_receiver receiver(net, dst, r2, fc,
+                               std::make_unique<honest_sigma_strategy>());
+  receiver.start(0);
+  sched.run_until(sim::seconds(60.0));
+
+  // The queue marked packets, and the receiver saw congestion signals
+  // without necessarily losing packets.
+  sim::link* bottleneck = net.next_hop(r1, dst);
+  EXPECT_GT(bottleneck->stats().ecn_marked, 0u);
+  EXPECT_GT(receiver.stats().slots_congested, 0u);
+  // The receiver stabilizes around the ECN-constrained level instead of
+  // climbing to the top.
+  EXPECT_LT(receiver.level(), fc.num_groups);
+  EXPECT_GE(receiver.level(), 1);
+  // Goodput near the bottleneck rate: ECN avoided heavy loss.
+  const double kbps = receiver.monitor().average_kbps(sim::seconds(20.0),
+                                                      sim::seconds(60.0));
+  EXPECT_GT(kbps, 120.0);
+  EXPECT_LT(kbps, 330.0);
+}
+
+TEST(ecn, scrubbed_components_invalidate_key_reconstruction) {
+  // Unit-level: a summary whose top group has a scrubbed component cannot
+  // produce that group's key, even with zero losses.
+  delta_layered_sender sender(1, 4, 64, 9);
+  delta_layered_receiver receiver(4);
+  std::vector<int> counts = {0, 4, 4, 4, 4};
+  sender.begin_slot(0, 0, counts);
+
+  flid::slot_summary s;
+  s.slot = 0;
+  s.level = 3;
+  s.groups.assign(5, {});
+  for (int g = 1; g <= 4; ++g) {
+    auto& rec = s.groups[static_cast<std::size_t>(g)];
+    rec.full_slot = (g <= 3);
+    for (int i = 0; i < 4; ++i) {
+      sim::flid_data hdr;
+      sender.fill_fields(0, g, i, i == 3, hdr);
+      ++rec.received;
+      rec.expected = 4;
+      if (g == 3 && i == 1) {
+        // This component was scrubbed by the router (ECN mark).
+        rec.scrubbed = true;
+        continue;
+      }
+      rec.xor_components ^= hdr.component;
+      if (g >= 2) rec.decrease = hdr.decrease;
+    }
+  }
+  s.congested = true;  // scrub is a congestion signal
+  const auto rec = receiver.reconstruct(s);
+  EXPECT_EQ(rec.next_level, 2);
+  const delta_slot_keys* keys = sender.keys_for(key_lead_slots);
+  for (const auto& [g, key] : rec.keys) {
+    EXPECT_NE(key, keys->top[3]);
+    EXPECT_LE(g, 2);
+  }
+}
+
+TEST(ecn, droptail_comparison_run_does_not_mark) {
+  auto d = make_ecn_dumbbell(1e6, 3);
+  d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  d->run_until(sim::seconds(20.0));
+  EXPECT_EQ(d->bottleneck()->stats().ecn_marked, 0u);
+}
+
+}  // namespace
+}  // namespace mcc::core

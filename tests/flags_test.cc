@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace mcc::util {
+namespace {
+
+TEST(flags, defaults_apply_without_arguments) {
+  flag_set flags;
+  flags.add("duration", "200", "seconds");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.i64("duration"), 200);
+}
+
+TEST(flags, equals_syntax) {
+  flag_set flags;
+  flags.add("rate", "1.5", "multiplier");
+  const char* argv[] = {"prog", "--rate=2.25"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_DOUBLE_EQ(flags.f64("rate"), 2.25);
+}
+
+TEST(flags, space_syntax) {
+  flag_set flags;
+  flags.add("sessions", "2", "count");
+  const char* argv[] = {"prog", "--sessions", "18"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_EQ(flags.i64("sessions"), 18);
+}
+
+TEST(flags, boolean_values) {
+  flag_set flags;
+  flags.add("verbose", "false", "chatty output");
+  const char* argv[] = {"prog", "--verbose=true"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.boolean("verbose"));
+}
+
+TEST(flags, unknown_flag_fails) {
+  flag_set flags;
+  flags.add("known", "1", "");
+  const char* argv[] = {"prog", "--unknown=3"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(flags, missing_value_fails) {
+  flag_set flags;
+  flags.add("n", "1", "");
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(flags, help_requests_usage) {
+  flag_set flags;
+  flags.add("n", "1", "");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(flags, positional_arguments_collected) {
+  flag_set flags;
+  flags.add("n", "1", "");
+  const char* argv[] = {"prog", "input.txt", "--n=5", "output.txt"};
+  ASSERT_TRUE(flags.parse(4, argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+  EXPECT_EQ(flags.i64("n"), 5);
+}
+
+TEST(flags, duplicate_declaration_throws) {
+  flag_set flags;
+  flags.add("x", "1", "");
+  EXPECT_THROW(flags.add("x", "2", ""), invariant_error);
+}
+
+TEST(flags, undeclared_lookup_throws) {
+  flag_set flags;
+  EXPECT_THROW((void)flags.str("nope"), invariant_error);
+}
+
+}  // namespace
+}  // namespace mcc::util

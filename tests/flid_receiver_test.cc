@@ -1,0 +1,105 @@
+// FLID-DL receiver behaviour over the dumbbell scenario: climbing under
+// spare capacity, stabilizing at the fair level, dropping under congestion.
+#include "flid/flid_receiver.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+
+namespace mcc::flid {
+namespace {
+
+using exp::dumbbell;
+using exp::dumbbell_config;
+using exp::flid_mode;
+using exp::receiver_options;
+
+TEST(flid_receiver, climbs_when_capacity_is_ample) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;  // no bottleneck for a <4 Mbps session
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+  // With ~0.3 upgrade probability per slot the receiver should reach the
+  // maximal level well within a minute.
+  EXPECT_EQ(session.receiver().level(), session.config.num_groups);
+  EXPECT_EQ(session.receiver().stats().downgrades, 0u);
+}
+
+TEST(flid_receiver, stabilizes_near_fair_level_at_bottleneck) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 250e3;
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::seconds(120.0));
+  // Fair level: cumulative rate <= 250 Kbps -> level 3 (225 Kbps).
+  const double kbps = session.receiver().monitor().average_kbps(
+      sim::seconds(60.0), sim::seconds(120.0));
+  EXPECT_GT(kbps, 120.0);
+  EXPECT_LT(kbps, 280.0);
+  EXPECT_LE(session.receiver().level(), 5);
+}
+
+TEST(flid_receiver, level_history_records_transitions) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+  const auto& hist = session.receiver().level_history();
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_EQ(hist.front().second, 1);  // joined at the minimal level
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_GE(hist[i].first, hist[i - 1].first);  // time-ordered
+    EXPECT_EQ(std::abs(hist[i].second - hist[i - 1].second), 1)
+        << "levels move one step at a time";
+  }
+}
+
+TEST(flid_receiver, drops_layers_when_cbr_burst_arrives) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 500e3;
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  traffic::cbr_config cbr;
+  cbr.rate_bps = 400e3;
+  cbr.start_time = sim::seconds(30.0);
+  cbr.stop_time = sim::seconds(60.0);
+  d.add_cbr(cbr);
+  d.run_until(sim::seconds(60.0));
+  // During the burst only ~100 Kbps remain: the receiver must be pushed to
+  // a low level.
+  const double during = session.receiver().monitor().average_kbps(
+      sim::seconds(45.0), sim::seconds(60.0));
+  const double before = session.receiver().monitor().average_kbps(
+      sim::seconds(15.0), sim::seconds(30.0));
+  EXPECT_LT(during, before);
+  EXPECT_GT(session.receiver().stats().downgrades, 0u);
+}
+
+TEST(flid_receiver, two_receivers_converge_to_same_level) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 250e3;
+  dumbbell d(cfg);
+  receiver_options early;
+  receiver_options late;
+  late.start_time = sim::seconds(10.0);
+  auto& session = d.add_flid_session(flid_mode::dl, {early, late});
+  d.run_until(sim::seconds(90.0));
+  // Behind the same bottleneck, both receivers end at the same level
+  // (synchronized by shared losses and shared upgrade signals).
+  EXPECT_EQ(session.receiver(0).level(), session.receiver(1).level());
+}
+
+TEST(flid_receiver, counts_congested_slots) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 150e3;  // tight: losses guaranteed while probing
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+  EXPECT_GT(session.receiver().stats().slots_congested, 0u);
+  EXPECT_GT(session.receiver().stats().slots_evaluated, 50u);
+}
+
+}  // namespace
+}  // namespace mcc::flid

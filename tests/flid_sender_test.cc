@@ -1,0 +1,234 @@
+#include "flid/flid_sender.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mcc::flid {
+namespace {
+
+TEST(flid_config, cumulative_rates_grow_multiplicatively) {
+  flid_config cfg;
+  cfg.base_rate_bps = 100e3;
+  cfg.rate_multiplier = 1.5;
+  EXPECT_DOUBLE_EQ(cfg.cumulative_rate_bps(1), 100e3);
+  EXPECT_DOUBLE_EQ(cfg.cumulative_rate_bps(2), 150e3);
+  EXPECT_NEAR(cfg.cumulative_rate_bps(10), 100e3 * std::pow(1.5, 9), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.cumulative_rate_bps(0), 0.0);
+}
+
+TEST(flid_config, group_rates_are_positive_differentials) {
+  flid_config cfg;
+  for (int g = 1; g <= cfg.num_groups; ++g) {
+    EXPECT_GT(cfg.group_rate_bps(g), 0.0) << g;
+  }
+  double sum = 0.0;
+  for (int g = 1; g <= cfg.num_groups; ++g) sum += cfg.group_rate_bps(g);
+  EXPECT_NEAR(sum, cfg.cumulative_rate_bps(cfg.num_groups), 1e-6);
+}
+
+TEST(flid_config, group_addresses_roundtrip) {
+  flid_config cfg;
+  cfg.group_addr_base = 20'000;
+  for (int g = 1; g <= cfg.num_groups; ++g) {
+    EXPECT_EQ(cfg.index_of(cfg.group(g)), g);
+  }
+  EXPECT_EQ(cfg.index_of(sim::group_addr{19'999}), 0);
+  EXPECT_EQ(cfg.index_of(sim::group_addr{20'000 + cfg.num_groups}), 0);
+}
+
+TEST(flid_config, announcement_lists_groups_in_order) {
+  flid_config cfg;
+  cfg.session_id = 4;
+  const auto ann = cfg.announcement();
+  EXPECT_EQ(ann.session_id, 4);
+  ASSERT_EQ(ann.groups.size(), static_cast<std::size_t>(cfg.num_groups));
+  EXPECT_EQ(ann.groups.front(), cfg.group(1));
+  EXPECT_EQ(ann.slot_duration, cfg.slot_duration);
+}
+
+TEST(flid_sender, packets_per_slot_match_rates) {
+  sim::scheduler sched;
+  sim::network net(sched);
+  const auto host = net.add_host("src");
+  flid_config cfg;
+  flid_sender sender(net, host, cfg, 1);
+  // Group 1: 100 Kbps, 500 ms slot, 576-byte packets -> ~10.85/slot.
+  double total = 0;
+  for (std::int64_t s = 0; s < 100; ++s) total += sender.packets_in_slot(1, s);
+  EXPECT_NEAR(total / 100.0, 100e3 * 0.5 / (8 * 576), 0.1);
+}
+
+TEST(flid_sender, every_group_sends_at_least_one_packet_per_slot) {
+  sim::scheduler sched;
+  sim::network net(sched);
+  const auto host = net.add_host("src");
+  flid_config cfg;
+  cfg.slot_duration = sim::milliseconds(200);  // short slots
+  flid_sender sender(net, host, cfg, 1);
+  for (int g = 1; g <= cfg.num_groups; ++g) {
+    for (std::int64_t s = 0; s < 20; ++s) {
+      EXPECT_GE(sender.packets_in_slot(g, s), 1);
+    }
+  }
+}
+
+TEST(flid_sender, auth_mask_is_deterministic_and_seeded_by_session) {
+  sim::scheduler sched;
+  sim::network net(sched);
+  const auto h1 = net.add_host("a");
+  const auto h2 = net.add_host("b");
+  flid_config c1;
+  c1.session_id = 1;
+  flid_config c2;
+  c2.session_id = 2;
+  flid_sender s1(net, h1, c1, 1);
+  flid_sender s1b(net, h1, c1, 999);  // different seed, same session
+  flid_sender s2(net, h2, c2, 1);
+  bool differ = false;
+  for (std::int64_t s = 0; s < 50; ++s) {
+    EXPECT_EQ(s1.auth_mask_for_slot(s), s1b.auth_mask_for_slot(s));
+    if (s1.auth_mask_for_slot(s) != s2.auth_mask_for_slot(s)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(flid_sender, auth_frequency_tracks_upgrade_prob) {
+  sim::scheduler sched;
+  sim::network net(sched);
+  const auto host = net.add_host("src");
+  flid_config cfg;
+  cfg.upgrade_prob = 0.3;
+  cfg.upgrade_decay = 0.85;
+  flid_sender sender(net, host, cfg, 1);
+  const int slots = 4000;
+  for (const int g : {2, 5, 9}) {
+    int auths = 0;
+    for (std::int64_t s = 0; s < slots; ++s) {
+      if (sender.auth_mask_for_slot(s) & (1u << g)) ++auths;
+    }
+    EXPECT_NEAR(static_cast<double>(auths) / slots, cfg.upgrade_prob_for(g),
+                0.03)
+        << "group " << g;
+  }
+}
+
+TEST(flid_sender, upgrade_probability_decays_geometrically) {
+  flid_config cfg;
+  cfg.upgrade_prob = 0.3;
+  cfg.upgrade_decay = 0.85;
+  EXPECT_DOUBLE_EQ(cfg.upgrade_prob_for(2), 0.3);
+  EXPECT_NEAR(cfg.upgrade_prob_for(3), 0.255, 1e-9);
+  for (int g = 3; g <= 10; ++g) {
+    EXPECT_LT(cfg.upgrade_prob_for(g), cfg.upgrade_prob_for(g - 1));
+  }
+}
+
+TEST(flid_sender, transmits_headers_with_slot_metadata) {
+  sim::scheduler sched;
+  mcc::testing::line_topology topo(sched);
+  flid_config cfg;
+  cfg.num_groups = 3;
+  flid_sender sender(topo.net, topo.h1, cfg, 1);
+  // Receive everything on h2.
+  const auto g1 = cfg.group(1);
+  topo.net.get(topo.h2)->host_join(g1);
+  topo.net.get(topo.r2)->graft(g1, topo.net.next_hop(topo.r2, topo.h2));
+  sender.start(0);
+  topo.net.join_upstream(topo.r2, g1);
+  mcc::testing::capture_agent sink(topo.net, topo.h2);
+  sched.run_until(sim::seconds(2.0));
+
+  ASSERT_FALSE(sink.packets.empty());
+  std::map<std::int64_t, int> per_slot;
+  for (const auto& p : sink.packets) {
+    const auto* hdr = sim::header_as<sim::flid_data>(p);
+    ASSERT_NE(hdr, nullptr);
+    EXPECT_EQ(hdr->group_index, 1);
+    EXPECT_EQ(hdr->session_id, cfg.session_id);
+    ++per_slot[hdr->slot];
+  }
+  // Full slots deliver exactly the advertised packet count.
+  for (const auto& p : sink.packets) {
+    const auto* hdr = sim::header_as<sim::flid_data>(p);
+    if (per_slot[hdr->slot] == hdr->packets_in_slot) {
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << "no complete slot observed";
+}
+
+TEST(flid_sender, last_in_slot_marker_present_once_per_group_slot) {
+  sim::scheduler sched;
+  mcc::testing::line_topology topo(sched);
+  flid_config cfg;
+  cfg.num_groups = 2;
+  flid_sender sender(topo.net, topo.h1, cfg, 1);
+  const auto g1 = cfg.group(1);
+  topo.net.get(topo.h2)->host_join(g1);
+  topo.net.get(topo.r2)->graft(g1, topo.net.next_hop(topo.r2, topo.h2));
+  sender.start(0);
+  topo.net.join_upstream(topo.r2, g1);
+  mcc::testing::capture_agent sink(topo.net, topo.h2);
+  sched.run_until(sim::seconds(3.0));
+
+  std::map<std::int64_t, int> lasts;
+  std::map<std::int64_t, int> counts;
+  for (const auto& p : sink.packets) {
+    const auto* hdr = sim::header_as<sim::flid_data>(p);
+    ++counts[hdr->slot];
+    if (hdr->last_in_slot) ++lasts[hdr->slot];
+  }
+  for (const auto& [slot, cnt] : counts) {
+    if (slot == counts.rbegin()->first) continue;  // possibly cut off
+    EXPECT_EQ(lasts[slot], 1) << "slot " << slot;
+  }
+}
+
+TEST(flid_sender, sigma_tagging_adds_shim) {
+  sim::scheduler sched;
+  mcc::testing::line_topology topo(sched);
+  flid_config cfg;
+  cfg.num_groups = 2;
+  flid_sender sender(topo.net, topo.h1, cfg, 1);
+  sender.set_sigma_tagging(true);
+  const auto g1 = cfg.group(1);
+  topo.net.get(topo.h2)->host_join(g1);
+  topo.net.get(topo.r2)->graft(g1, topo.net.next_hop(topo.r2, topo.h2));
+  sender.start(0);
+  topo.net.join_upstream(topo.r2, g1);
+  mcc::testing::capture_agent sink(topo.net, topo.h2);
+  sched.run_until(sim::seconds(1.0));
+  ASSERT_FALSE(sink.packets.empty());
+  for (const auto& p : sink.packets) {
+    ASSERT_TRUE(p.tag.has_value());
+    EXPECT_EQ(p.tag->session_id, cfg.session_id);
+    EXPECT_EQ(p.tag->slot, sim::header_as<sim::flid_data>(p)->slot);
+  }
+}
+
+TEST(flid_sender, stats_count_upgrade_authorizations) {
+  sim::scheduler sched;
+  sim::network net(sched);
+  const auto host = net.add_host("src");
+  net.add_router("r");
+  net.connect(host, 1, sim::link_config{});
+  net.finalize_routing();
+  flid_config cfg;
+  cfg.num_groups = 4;
+  flid_sender sender(net, host, cfg, 1);
+  sender.start(0);
+  sched.run_until(sim::seconds(10.0));
+  // 20 full slots plus the slot-boundary event at exactly t = 10 s.
+  EXPECT_EQ(sender.stats().slots, 21u);
+  std::uint64_t total_auth = 0;
+  for (int g = 2; g <= 4; ++g) {
+    total_auth += sender.stats().auth_count[static_cast<std::size_t>(g)];
+  }
+  EXPECT_GT(total_auth, 0u);
+  EXPECT_GT(sender.stats().data_packets, 0u);
+}
+
+}  // namespace
+}  // namespace mcc::flid

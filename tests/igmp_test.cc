@@ -1,0 +1,143 @@
+#include "mcast/igmp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mcc::mcast {
+namespace {
+
+using mcc::testing::capture_agent;
+using mcc::testing::line_topology;
+
+struct igmp_fixture : ::testing::Test {
+  igmp_fixture() : topo(sched), agent(topo.net, topo.r2) {
+    topo.net.register_group_source(g, topo.h1);
+  }
+
+  void send_data() {
+    sim::packet p;
+    p.size_bytes = 100;
+    p.dst = sim::dest::to_group(g);
+    topo.net.get(topo.h1)->send(std::move(p));
+  }
+
+  sim::scheduler sched;
+  line_topology topo;
+  igmp_agent agent;
+  sim::group_addr g{500};
+};
+
+TEST_F(igmp_fixture, join_builds_tree_and_delivers) {
+  membership_client client(topo.net, topo.h2, topo.r2);
+  capture_agent sink(topo.net, topo.h2);
+  client.join(g);
+  sched.run_until(sim::milliseconds(100));
+  send_data();
+  sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(agent.stats().joins, 1u);
+}
+
+TEST_F(igmp_fixture, leave_stops_delivery_and_prunes) {
+  membership_client client(topo.net, topo.h2, topo.r2);
+  capture_agent sink(topo.net, topo.h2);
+  client.join(g);
+  sched.run_until(sim::milliseconds(100));
+  client.leave(g);
+  sched.run_until(sim::milliseconds(200));
+  send_data();
+  sched.run_until(sim::milliseconds(300));
+  EXPECT_TRUE(sink.packets.empty());
+  EXPECT_EQ(agent.stats().leaves, 1u);
+  // Interior branch pruned too.
+  EXPECT_FALSE(topo.net.get(topo.r1)->has_oif(g, topo.middle));
+}
+
+TEST_F(igmp_fixture, protected_groups_refuse_plain_igmp) {
+  topo.net.mark_sigma_protected(g);
+  membership_client client(topo.net, topo.h2, topo.r2);
+  capture_agent sink(topo.net, topo.h2);
+  client.join(g);
+  sched.run_until(sim::milliseconds(100));
+  send_data();
+  sched.run_until(sim::milliseconds(200));
+  EXPECT_TRUE(sink.packets.empty());
+  EXPECT_EQ(agent.stats().refused_protected, 1u);
+  EXPECT_EQ(agent.stats().joins, 0u);
+}
+
+TEST_F(igmp_fixture, programmatic_join_bypasses_protection_check) {
+  // SIGMA validates keys and then drives the same tree logic.
+  topo.net.mark_sigma_protected(g);
+  sim::link* iface = topo.net.next_hop(topo.r2, topo.h2);
+  agent.join(g, iface);
+  topo.net.get(topo.h2)->host_join(g);
+  capture_agent sink(topo.net, topo.h2);
+  sched.run_until(sim::milliseconds(100));
+  send_data();
+  sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST_F(igmp_fixture, duplicate_joins_are_idempotent) {
+  membership_client client(topo.net, topo.h2, topo.r2);
+  capture_agent sink(topo.net, topo.h2);
+  client.join(g);
+  client.join(g);
+  sched.run_until(sim::milliseconds(100));
+  send_data();
+  sched.run_until(sim::milliseconds(200));
+  EXPECT_EQ(sink.packets.size(), 1u);  // no duplicate delivery
+}
+
+TEST_F(igmp_fixture, two_receivers_one_upstream_branch) {
+  // Add a second receiver host on the same edge router.
+  // (Build a fresh topology because line_topology froze routing already.)
+  sim::scheduler s2;
+  sim::network net(s2);
+  const sim::node_id src = net.add_host("src");
+  const sim::node_id r1 = net.add_router("r1");
+  const sim::node_id r2 = net.add_router("r2");
+  const sim::node_id ha = net.add_host("a");
+  const sim::node_id hb = net.add_host("b");
+  sim::link_config cfg;
+  net.connect(src, r1, cfg);
+  net.connect(r1, r2, cfg);
+  net.connect(r2, ha, cfg);
+  net.connect(r2, hb, cfg);
+  net.finalize_routing();
+  igmp_agent ag(net, r2);
+  const sim::group_addr grp{600};
+  net.register_group_source(grp, src);
+
+  membership_client ca(net, ha, r2);
+  membership_client cb(net, hb, r2);
+  capture_agent sa(net, ha);
+  capture_agent sb(net, hb);
+  ca.join(grp);
+  cb.join(grp);
+  s2.run_until(sim::milliseconds(100));
+
+  sim::packet p;
+  p.size_bytes = 100;
+  p.dst = sim::dest::to_group(grp);
+  net.get(src)->send(std::move(p));
+  s2.run_until(sim::milliseconds(200));
+  EXPECT_EQ(sa.packets.size(), 1u);
+  EXPECT_EQ(sb.packets.size(), 1u);
+
+  // One leaves; the other keeps receiving.
+  ca.leave(grp);
+  s2.run_until(sim::milliseconds(300));
+  sim::packet q;
+  q.size_bytes = 100;
+  q.dst = sim::dest::to_group(grp);
+  net.get(src)->send(std::move(q));
+  s2.run_until(sim::milliseconds(400));
+  EXPECT_EQ(sa.packets.size(), 1u);
+  EXPECT_EQ(sb.packets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcc::mcast

@@ -1,0 +1,106 @@
+#include "crypto/key.h"
+#include "crypto/oneway.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace mcc::crypto {
+namespace {
+
+TEST(group_key, xor_is_associative_and_commutative) {
+  const group_key a{0x1234}, b{0xabcd}, c{0x5555};
+  EXPECT_EQ(((a ^ b) ^ c), (a ^ (b ^ c)));
+  EXPECT_EQ((a ^ b), (b ^ a));
+}
+
+TEST(group_key, xor_identity_and_self_inverse) {
+  const group_key a{0xdeadbeef};
+  EXPECT_EQ((a ^ zero_key), a);
+  EXPECT_EQ((a ^ a), zero_key);
+}
+
+TEST(group_key, xor_assign_matches_binary_op) {
+  group_key acc{0x1};
+  acc ^= group_key{0xf0};
+  EXPECT_EQ(acc, (group_key{0x1} ^ group_key{0xf0}));
+}
+
+TEST(group_key, mask_to_bits_truncates) {
+  const group_key k{0xffff'ffff'ffff'ffffULL};
+  EXPECT_EQ(mask_to_bits(k, 16).value, 0xffffu);
+  EXPECT_EQ(mask_to_bits(k, 32).value, 0xffff'ffffULL);
+  EXPECT_EQ(mask_to_bits(k, 64).value, k.value);
+  EXPECT_EQ(mask_to_bits(k, 0).value, 0u);
+}
+
+TEST(group_key, masked_xor_stays_in_keyspace) {
+  const group_key a = mask_to_bits(group_key{0x123456789abcdefULL}, 16);
+  const group_key b = mask_to_bits(group_key{0xfedcba987654321ULL}, 16);
+  EXPECT_EQ(((a ^ b).value >> 16), 0u);
+}
+
+TEST(group_key, hashable_in_std_containers) {
+  std::set<std::uint64_t> values;
+  std::hash<group_key> h;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    values.insert(h(group_key{i}));
+  }
+  EXPECT_GE(values.size(), 99u);  // essentially no collisions on small ints
+}
+
+TEST(oneway, deterministic) {
+  EXPECT_EQ(oneway_mix(12345), oneway_mix(12345));
+}
+
+TEST(oneway, avalanche_on_single_bit_flip) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = oneway_mix(0x0123456789abcdefULL);
+  const std::uint64_t b = oneway_mix(0x0123456789abcdefULL ^ 1);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GE(flipped, 16);
+  EXPECT_LE(flipped, 48);
+}
+
+TEST(oneway, compress_depends_on_every_part) {
+  const std::array<group_key, 3> base = {group_key{1}, group_key{2},
+                                         group_key{3}};
+  const group_key all = oneway_compress({base.data(), base.size()});
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    auto mutated = base;
+    mutated[i].value ^= 0x8000;
+    EXPECT_NE(oneway_compress({mutated.data(), mutated.size()}), all)
+        << "part " << i;
+  }
+}
+
+TEST(oneway, compress_depends_on_order) {
+  const std::array<group_key, 2> ab = {group_key{0xa}, group_key{0xb}};
+  const std::array<group_key, 2> ba = {group_key{0xb}, group_key{0xa}};
+  EXPECT_NE(oneway_compress({ab.data(), ab.size()}),
+            oneway_compress({ba.data(), ba.size()}));
+}
+
+TEST(oneway, interface_perturbation_separates_interfaces) {
+  const group_key k{0xbeef};
+  const group_key p1 = perturb_for_interface(k, 1);
+  const group_key p2 = perturb_for_interface(k, 2);
+  EXPECT_NE(p1, p2);
+  EXPECT_NE(p1, k);
+  // Deterministic per interface (receiver and router must agree).
+  EXPECT_EQ(perturb_for_interface(k, 1), p1);
+}
+
+TEST(oneway, mix_has_no_trivial_fixed_point_at_small_nonzero_inputs) {
+  // Zero is the mixer's only structural fixed point (multiplicative rounds
+  // preserve it); key material is always drawn from non-zero nonces.
+  EXPECT_EQ(oneway_mix(0), 0u);
+  for (std::uint64_t x = 1; x < 64; ++x) {
+    EXPECT_NE(oneway_mix(x), x);
+  }
+}
+
+}  // namespace
+}  // namespace mcc::crypto

@@ -1,0 +1,174 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mcc::sim {
+namespace {
+
+using mcc::testing::capture_agent;
+using mcc::testing::make_packet;
+
+struct two_hosts {
+  explicit two_hosts(scheduler& s, const link_config& cfg) : net(s) {
+    a = net.add_host("a");
+    b = net.add_host("b");
+    auto [f, r] = net.connect(a, b, cfg);
+    fwd = f;
+    rev = r;
+    net.finalize_routing();
+  }
+  network net;
+  node_id a, b;
+  link* fwd;
+  link* rev;
+};
+
+TEST(link, delivers_after_serialization_plus_propagation) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e6;
+  cfg.delay = milliseconds(20);
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+
+  t.net.get(t.a)->send(make_packet(1000, t.b));  // 8 ms serialization
+  s.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(s.now(), milliseconds(28));
+}
+
+TEST(link, serializes_back_to_back_packets) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e6;
+  cfg.delay = 0;
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+
+  for (int i = 0; i < 3; ++i) t.net.get(t.a)->send(make_packet(1000, t.b));
+  s.run();
+  ASSERT_EQ(sink.packets.size(), 3u);
+  // Three 8 ms transmissions in series.
+  EXPECT_EQ(s.now(), milliseconds(24));
+}
+
+TEST(link, drops_when_queue_full) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e6;
+  cfg.delay = 0;
+  cfg.queue_capacity_bytes = 2500;  // fits two 1000-byte packets + in-flight
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+
+  // First packet starts transmitting immediately (leaves the queue); the
+  // queue then holds two more; the rest drop.
+  for (int i = 0; i < 6; ++i) t.net.get(t.a)->send(make_packet(1000, t.b));
+  s.run();
+  EXPECT_EQ(t.fwd->stats().dropped, 3u);
+  EXPECT_EQ(sink.packets.size(), 3u);
+}
+
+TEST(link, counts_delivered_bytes) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 10e6;
+  cfg.delay = milliseconds(1);
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+  for (int i = 0; i < 4; ++i) t.net.get(t.a)->send(make_packet(500, t.b));
+  s.run();
+  EXPECT_EQ(t.fwd->stats().delivered, 4u);
+  EXPECT_EQ(t.fwd->stats().bytes_delivered, 2000);
+  EXPECT_EQ(t.fwd->stats().enqueued, 4u);
+}
+
+TEST(link, preserves_fifo_order) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 5e6;
+  cfg.delay = milliseconds(2);
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+  for (int i = 0; i < 10; ++i) {
+    packet p = make_packet(600, t.b);
+    p.hdr = cbr_payload{1, i};
+    t.net.get(t.a)->send(std::move(p));
+  }
+  s.run();
+  ASSERT_EQ(sink.packets.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(header_as<cbr_payload>(sink.packets[static_cast<std::size_t>(i)])
+                  ->seq,
+              i);
+  }
+}
+
+TEST(link, ecn_threshold_marks_capable_packets_only) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e5;  // slow so the queue builds
+  cfg.delay = 0;
+  cfg.queue_capacity_bytes = 10'000;
+  cfg.discipline = qdisc::ecn_threshold;
+  cfg.ecn_threshold_fraction = 0.3;
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+
+  for (int i = 0; i < 12; ++i) {
+    packet p = make_packet(1000, t.b);
+    p.ecn_capable = (i % 2 == 0);
+    t.net.get(t.a)->send(std::move(p));
+  }
+  s.run();
+  EXPECT_GT(t.fwd->stats().ecn_marked, 0u);
+  int marked = 0;
+  for (const auto& p : sink.packets) {
+    if (p.ecn_marked) {
+      ++marked;
+      EXPECT_TRUE(p.ecn_capable);
+    }
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(marked), t.fwd->stats().ecn_marked);
+}
+
+TEST(link, droptail_never_marks) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e5;
+  cfg.delay = 0;
+  cfg.queue_capacity_bytes = 10'000;
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+  for (int i = 0; i < 12; ++i) {
+    packet p = make_packet(1000, t.b);
+    p.ecn_capable = true;
+    t.net.get(t.a)->send(std::move(p));
+  }
+  s.run();
+  EXPECT_EQ(t.fwd->stats().ecn_marked, 0u);
+}
+
+TEST(link, default_queue_capacity_is_positive) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e6;
+  cfg.queue_capacity_bytes = 0;  // ask for the default
+  two_hosts t(s, cfg);
+  EXPECT_GT(t.fwd->config().queue_capacity_bytes, 0);
+}
+
+TEST(link, rejects_invalid_config) {
+  scheduler s;
+  network net(s);
+  const node_id a = net.add_host("a");
+  const node_id b = net.add_host("b");
+  link_config bad;
+  bad.bps = 0;
+  EXPECT_THROW(net.connect(a, b, bad), util::invariant_error);
+}
+
+}  // namespace
+}  // namespace mcc::sim

@@ -1,0 +1,122 @@
+// Containment matrix: every attacker key strategy, at several bottleneck
+// sizes, must be held to (approximately) the honest allocation — the
+// system-level invariant behind paper Figure 7. Plus recovery behaviour
+// after a total blackout.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+
+namespace mcc::core {
+namespace {
+
+using exp::dumbbell;
+using exp::dumbbell_config;
+using exp::flid_mode;
+using exp::receiver_options;
+
+struct matrix_case {
+  misbehaving_sigma_strategy::key_mode mode;
+  double bottleneck_bps;
+};
+
+class containment_matrix : public ::testing::TestWithParam<matrix_case> {};
+
+TEST_P(containment_matrix, attacker_held_near_honest_share) {
+  const auto [mode, bottleneck] = GetParam();
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = bottleneck;
+  cfg.seed = 21;
+  dumbbell d(cfg);
+  receiver_options attacker;
+  attacker.inflate = true;
+  attacker.inflate_at = sim::seconds(30.0);
+  attacker.attack_keys = mode;
+  auto& rogue = d.add_flid_session(flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  d.run_until(sim::seconds(120.0));
+
+  const sim::time_ns t0 = sim::seconds(45.0);
+  const sim::time_ns te = sim::seconds(120.0);
+  const double rogue_kbps = rogue.receiver().monitor().average_kbps(t0, te);
+  const double honest_kbps = honest.receiver().monitor().average_kbps(t0, te);
+
+  // Two sessions share the bottleneck: the fair share is half. The attacker
+  // must not hold materially more than the contested fair share; layer
+  // quantization and probing luck allow some slack, but nothing resembling
+  // the unprotected grab (which takes nearly everything).
+  EXPECT_LT(rogue_kbps, 0.75 * bottleneck / 1e3)
+      << "attacker " << rogue_kbps << " honest " << honest_kbps;
+  // And the honest receiver must retain a living share.
+  EXPECT_GT(honest_kbps, 0.1 * bottleneck / 1e3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    modes_and_bottlenecks, containment_matrix,
+    ::testing::Values(
+        matrix_case{misbehaving_sigma_strategy::key_mode::best_effort, 500e3},
+        matrix_case{misbehaving_sigma_strategy::key_mode::best_effort, 1e6},
+        matrix_case{misbehaving_sigma_strategy::key_mode::replay, 500e3},
+        matrix_case{misbehaving_sigma_strategy::key_mode::replay, 1e6},
+        matrix_case{misbehaving_sigma_strategy::key_mode::guess, 500e3},
+        matrix_case{misbehaving_sigma_strategy::key_mode::guess, 1e6}));
+
+TEST(blackout_recovery, honest_receiver_rejoins_after_total_outage) {
+  // A CBR flood consumes the whole bottleneck for 20 s: the receiver loses
+  // everything, gets cut off (no keys), and must re-enter via session-join
+  // and climb back afterwards.
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 31;
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  traffic::cbr_config flood;
+  flood.rate_bps = 1.2e6;  // over capacity
+  flood.start_time = sim::seconds(40.0);
+  flood.stop_time = sim::seconds(60.0);
+  d.add_cbr(flood);
+  d.run_until(sim::seconds(120.0));
+
+  auto& r = session.receiver();
+  const double before = r.monitor().average_kbps(sim::seconds(20.0),
+                                                 sim::seconds(40.0));
+  const double during = r.monitor().average_kbps(sim::seconds(45.0),
+                                                 sim::seconds(60.0));
+  const double after = r.monitor().average_kbps(sim::seconds(90.0),
+                                                sim::seconds(120.0));
+  EXPECT_GT(before, 300.0);
+  EXPECT_LT(during, 0.4 * before);  // flood crushed the session
+  EXPECT_GT(after, 0.6 * before);  // recovered after re-admission
+  // The cutoff/rejoin machinery was exercised.
+  EXPECT_GT(d.sigma().stats().session_joins, 1u);
+}
+
+TEST(blackout_recovery, attacker_blackout_does_not_unlock_extra_access) {
+  // During its own blackout, the attacker spams session-joins and guesses;
+  // afterwards it must still sit at the (shared) honest level, not above.
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 33;
+  dumbbell d(cfg);
+  receiver_options attacker;
+  attacker.inflate = true;
+  attacker.inflate_at = sim::seconds(10.0);
+  attacker.attack_keys = misbehaving_sigma_strategy::key_mode::guess;
+  auto& rogue = d.add_flid_session(flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  traffic::cbr_config flood;
+  flood.rate_bps = 1.2e6;
+  flood.start_time = sim::seconds(40.0);
+  flood.stop_time = sim::seconds(55.0);
+  d.add_cbr(flood);
+  d.run_until(sim::seconds(120.0));
+
+  const double rogue_after = rogue.receiver().monitor().average_kbps(
+      sim::seconds(70.0), sim::seconds(120.0));
+  const double honest_after = honest.receiver().monitor().average_kbps(
+      sim::seconds(70.0), sim::seconds(120.0));
+  EXPECT_LT(rogue_after, 750.0);
+  EXPECT_GT(honest_after, 100.0);
+}
+
+}  // namespace
+}  // namespace mcc::core

@@ -1,0 +1,193 @@
+// Router forwarding edge cases: reverse-path suppression, no-route
+// accounting, policy deny/mutate semantics, and multi-branch fanout.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mcc::sim {
+namespace {
+
+using mcc::testing::capture_agent;
+using mcc::testing::make_packet;
+
+TEST(node_forwarding, multicast_never_echoes_to_arrival_link) {
+  // src -- r -- dst, with r grafted on BOTH its interfaces for the group.
+  scheduler s;
+  network net(s);
+  const auto src = net.add_host("src");
+  const auto r = net.add_router("r");
+  const auto dst = net.add_host("dst");
+  net.connect(src, r, link_config{});
+  net.connect(r, dst, link_config{});
+  net.finalize_routing();
+  const group_addr g{100};
+  net.register_group_source(g, src);
+  // Graft even the interface pointing back at the source.
+  net.get(r)->graft(g, net.next_hop(r, src));
+  net.get(r)->graft(g, net.next_hop(r, dst));
+  net.get(dst)->host_join(g);
+  net.get(src)->host_join(g);
+  capture_agent at_src(net, src);
+  capture_agent at_dst(net, dst);
+
+  packet p;
+  p.size_bytes = 100;
+  p.dst = dest::to_group(g);
+  net.get(src)->send(std::move(p));
+  s.run();
+  EXPECT_EQ(at_dst.packets.size(), 1u);
+  EXPECT_TRUE(at_src.packets.empty());  // no echo back toward the source
+}
+
+TEST(node_forwarding, unicast_without_route_counts_no_route) {
+  scheduler s;
+  network net(s);
+  const auto a = net.add_host("a");
+  const auto r = net.add_router("r");
+  const auto island = net.add_host("island");  // not connected to anything
+  net.connect(a, r, link_config{});
+  net.finalize_routing();
+  // The host itself refuses to originate toward an unreachable node...
+  EXPECT_THROW(net.get(a)->send(make_packet(50, island)),
+               util::invariant_error);
+  // ...and a router receiving such a packet drops it and counts no_route.
+  net.get(r)->receive(make_packet(50, island), nullptr);
+  EXPECT_EQ(net.get(r)->stats().no_route, 1u);
+}
+
+TEST(node_forwarding, policy_can_mutate_the_branch_copy_only) {
+  // Policy scrubs for one host; the other host's copy is untouched.
+  scheduler s;
+  network net(s);
+  const auto src = net.add_host("src");
+  const auto r = net.add_router("r");
+  const auto ha = net.add_host("a");
+  const auto hb = net.add_host("b");
+  net.connect(src, r, link_config{});
+  net.connect(r, ha, link_config{});
+  net.connect(r, hb, link_config{});
+  net.finalize_routing();
+  const group_addr g{200};
+  net.register_group_source(g, src);
+  link* oif_a = net.next_hop(r, ha);
+  net.get(r)->graft(g, oif_a);
+  net.get(r)->graft(g, net.next_hop(r, hb));
+  net.get(ha)->host_join(g);
+  net.get(hb)->host_join(g);
+
+  struct scrub_for_a : access_policy {
+    explicit scrub_for_a(link* a) : a_(a) {}
+    bool allow(packet& p, link* oif) override {
+      if (oif == a_) {
+        if (auto* hdr = header_as<flid_data>(p)) hdr->component_scrubbed = true;
+      }
+      return true;
+    }
+    link* a_;
+  } policy(oif_a);
+  net.get(r)->set_access_policy(&policy);
+
+  capture_agent at_a(net, ha);
+  capture_agent at_b(net, hb);
+  packet p;
+  p.size_bytes = 100;
+  p.dst = dest::to_group(g);
+  p.hdr = flid_data{};
+  net.get(src)->send(std::move(p));
+  s.run();
+  ASSERT_EQ(at_a.packets.size(), 1u);
+  ASSERT_EQ(at_b.packets.size(), 1u);
+  EXPECT_TRUE(header_as<flid_data>(at_a.packets[0])->component_scrubbed);
+  EXPECT_FALSE(header_as<flid_data>(at_b.packets[0])->component_scrubbed);
+}
+
+TEST(node_forwarding, policy_denial_is_counted_and_scoped) {
+  scheduler s;
+  network net(s);
+  const auto src = net.add_host("src");
+  const auto r = net.add_router("r");
+  const auto ha = net.add_host("a");
+  const auto hb = net.add_host("b");
+  net.connect(src, r, link_config{});
+  net.connect(r, ha, link_config{});
+  net.connect(r, hb, link_config{});
+  net.finalize_routing();
+  const group_addr g{300};
+  net.register_group_source(g, src);
+  link* oif_a = net.next_hop(r, ha);
+  net.get(r)->graft(g, oif_a);
+  net.get(r)->graft(g, net.next_hop(r, hb));
+  net.get(ha)->host_join(g);
+  net.get(hb)->host_join(g);
+
+  struct deny_a : access_policy {
+    explicit deny_a(link* a) : a_(a) {}
+    bool allow(packet&, link* oif) override { return oif != a_; }
+    link* a_;
+  } policy(oif_a);
+  net.get(r)->set_access_policy(&policy);
+
+  capture_agent at_a(net, ha);
+  capture_agent at_b(net, hb);
+  for (int i = 0; i < 5; ++i) {
+    packet p;
+    p.size_bytes = 100;
+    p.dst = dest::to_group(g);
+    net.get(src)->send(std::move(p));
+  }
+  s.run();
+  EXPECT_TRUE(at_a.packets.empty());
+  EXPECT_EQ(at_b.packets.size(), 5u);
+  EXPECT_EQ(net.get(r)->stats().policy_denied, 5u);
+}
+
+TEST(node_forwarding, policy_not_consulted_for_router_facing_branches) {
+  // src -- r1 -- r2 -- dst: a deny-everything policy on r1 must not block
+  // the r1 -> r2 branch (policies guard host-facing interfaces only).
+  scheduler s;
+  network net(s);
+  const auto src = net.add_host("src");
+  const auto r1 = net.add_router("r1");
+  const auto r2 = net.add_router("r2");
+  const auto dst = net.add_host("dst");
+  net.connect(src, r1, link_config{});
+  net.connect(r1, r2, link_config{});
+  net.connect(r2, dst, link_config{});
+  net.finalize_routing();
+  const group_addr g{400};
+  net.register_group_source(g, src);
+  net.get(r1)->graft(g, net.next_hop(r1, dst));
+  net.get(r2)->graft(g, net.next_hop(r2, dst));
+  net.get(dst)->host_join(g);
+
+  struct deny_all : access_policy {
+    bool allow(packet&, link*) override { return false; }
+  } policy;
+  net.get(r1)->set_access_policy(&policy);
+
+  capture_agent sink(net, dst);
+  packet p;
+  p.size_bytes = 100;
+  p.dst = dest::to_group(g);
+  net.get(src)->send(std::move(p));
+  s.run();
+  // r1 forwarded to r2 despite its policy; r2 (no policy) delivered.
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(node_forwarding, self_addressed_unicast_delivers_to_router_agents) {
+  scheduler s;
+  network net(s);
+  const auto h = net.add_host("h");
+  const auto r = net.add_router("r");
+  net.connect(h, r, link_config{});
+  net.finalize_routing();
+  capture_agent mgmt(net, r);
+  net.get(h)->send(make_packet(40, r));
+  s.run();
+  EXPECT_EQ(mgmt.packets.size(), 1u);
+  EXPECT_EQ(net.get(r)->stats().delivered_local, 1u);
+}
+
+}  // namespace
+}  // namespace mcc::sim

@@ -1,0 +1,153 @@
+// Overhead model of paper section 5.4 and its agreement with measured bits.
+#include "core/overhead.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+
+namespace mcc::core {
+namespace {
+
+overhead_params paper_params() {
+  overhead_params p;
+  p.num_groups = 10;
+  p.base_rate_bps = 100e3;
+  p.session_rate_bps = 4e6;
+  p.packet_data_bits = 4000;  // 500-byte payload
+  p.key_bits = 16;
+  p.slot_number_bits = 8;
+  p.slot_seconds = 0.25;
+  p.fec_expansion = 2.0;
+  p.header_bits_per_slot = 8 * 40.0 * 8;  // 8 special packets x 40 B headers
+  p.sum_upgrade_freq = 9 * 0.15;          // f_g ~ upgrade_prob per group
+  return p;
+}
+
+TEST(overhead_model, delta_is_about_point_eight_percent) {
+  // Paper: "the communication overhead remains about 0.8% for DELTA".
+  const double o = delta_overhead(paper_params());
+  EXPECT_NEAR(o, 0.008, 0.0005);
+}
+
+TEST(overhead_model, sigma_stays_under_point_six_percent) {
+  // Paper: "stays under 0.6% for SIGMA".
+  const double o = sigma_overhead(paper_params());
+  EXPECT_GT(o, 0.0);
+  EXPECT_LT(o, 0.006);
+}
+
+TEST(overhead_model, delta_grows_with_key_width) {
+  auto p = paper_params();
+  const double o16 = delta_overhead(p);
+  p.key_bits = 32;
+  EXPECT_NEAR(delta_overhead(p), 2 * o16, 1e-9);
+}
+
+TEST(overhead_model, delta_approaches_2b_over_s_for_many_groups) {
+  auto p = paper_params();
+  p.session_rate_bps = 1e12;  // m^(N-1) -> infinity
+  EXPECT_NEAR(delta_overhead(p), 2.0 * 16 / 4000, 1e-6);
+}
+
+TEST(overhead_model, delta_single_group_is_b_over_s) {
+  auto p = paper_params();
+  p.session_rate_bps = p.base_rate_bps;  // N = 1: no decrease fields
+  EXPECT_NEAR(delta_overhead(p), 16.0 / 4000, 1e-9);
+}
+
+TEST(overhead_model, sigma_shrinks_with_longer_slots) {
+  auto p = paper_params();
+  const double at_250ms = sigma_overhead(p);
+  p.slot_seconds = 1.0;
+  EXPECT_LT(sigma_overhead(p), at_250ms);
+}
+
+TEST(overhead_model, sigma_scales_linearly_with_fec) {
+  auto p = paper_params();
+  p.header_bits_per_slot = 0;
+  const double z2 = sigma_overhead(p);
+  p.fec_expansion = 4.0;
+  EXPECT_NEAR(sigma_overhead(p), 2 * z2, 1e-9);
+}
+
+TEST(overhead_model, rejects_degenerate_inputs) {
+  auto p = paper_params();
+  p.slot_seconds = 0;
+  EXPECT_THROW((void)sigma_overhead(p), util::invariant_error);
+  auto q = paper_params();
+  q.session_rate_bps = 0;
+  EXPECT_THROW((void)delta_overhead(q), util::invariant_error);
+}
+
+TEST(overhead_measured, sigma_control_traffic_matches_model_order) {
+  // Run a real FLID-DS session and compare measured control bytes per data
+  // byte with the analytic O_Sigma at the same parameters.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  exp::dumbbell d(cfg);
+  auto& s = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+  d.run_until(sim::seconds(100.0));
+
+  const auto& em = s.ds.emitter->stats();
+  const auto& snd = s.sender->stats();
+  const double measured =
+      static_cast<double>(em.ctrl_bytes) / static_cast<double>(snd.data_bytes);
+
+  overhead_params p;
+  p.num_groups = s.config.num_groups;
+  p.base_rate_bps = s.config.base_rate_bps;
+  // The receiver tops out at level 10 here; use the full session rate.
+  p.session_rate_bps = s.config.cumulative_rate_bps(s.config.num_groups);
+  p.packet_data_bits = s.config.packet_bytes * 8;
+  p.key_bits = s.config.key_bits;
+  p.slot_seconds = sim::to_seconds(s.config.slot_duration);
+  p.fec_expansion = s.ds.emitter->expansion_factor();
+  p.header_bits_per_slot =
+      8.0 * static_cast<double>(em.header_bytes) /
+      static_cast<double>(em.slots);
+  p.sum_upgrade_freq = 0;
+  for (int g = 2; g <= s.config.num_groups; ++g) {
+    p.sum_upgrade_freq +=
+        static_cast<double>(snd.auth_count[static_cast<std::size_t>(g)]) /
+        static_cast<double>(snd.slots);
+  }
+  const double model = sigma_overhead(p);
+  // Within 3x of each other (the model counts idealized tuple bits; the
+  // simulator serializes byte-aligned structures).
+  EXPECT_LT(measured, model * 3.0);
+  EXPECT_GT(measured, model / 3.0);
+}
+
+TEST(overhead_measured, delta_fields_match_model_exactly) {
+  // DELTA's measured overhead is exact: b bits per packet plus b per packet
+  // of groups >= 2.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  exp::dumbbell d(cfg);
+  auto& s = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+  d.run_until(sim::seconds(100.0));
+  const auto& snd = s.sender->stats();
+
+  // Count group-1 packets: every packet carries a component; only groups >= 2
+  // carry a decrease field.
+  double group1_packets = 0;
+  for (std::uint64_t slot = 0; slot < snd.slots; ++slot) {
+    group1_packets += s.sender->packets_in_slot(1, static_cast<std::int64_t>(slot));
+  }
+  const double b = s.config.key_bits;
+  const double field_bits =
+      b * (static_cast<double>(snd.data_packets) * 2.0 - group1_packets);
+  const double data_bits = 8.0 * static_cast<double>(snd.data_bytes);
+  const double measured = field_bits / data_bits;
+
+  overhead_params p;
+  p.key_bits = s.config.key_bits;
+  p.packet_data_bits = s.config.packet_bytes * 8;
+  p.base_rate_bps = s.config.base_rate_bps;
+  p.session_rate_bps = s.config.cumulative_rate_bps(s.config.num_groups);
+  // Model and measurement agree to within pacing quantization.
+  EXPECT_NEAR(measured, delta_overhead(p), 0.1 * delta_overhead(p));
+}
+
+}  // namespace
+}  // namespace mcc::core

@@ -1,0 +1,128 @@
+// Tests for the experiment kit itself: topology sizing, paper defaults,
+// session bookkeeping, and failure-injection behaviours of the dumbbell.
+#include "exp/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace mcc::exp {
+namespace {
+
+TEST(scenario, paper_defaults_match_section_5_1) {
+  dumbbell_config cfg;
+  EXPECT_DOUBLE_EQ(cfg.access_bps, 10e6);
+  EXPECT_EQ(cfg.access_delay, sim::milliseconds(10));
+  EXPECT_EQ(cfg.bottleneck_delay, sim::milliseconds(20));
+  EXPECT_DOUBLE_EQ(cfg.buffer_bdp, 2.0);
+
+  dumbbell d(cfg);
+  const auto dl = d.default_flid_config(flid_mode::dl);
+  EXPECT_EQ(dl.num_groups, 10);
+  EXPECT_DOUBLE_EQ(dl.base_rate_bps, 100e3);
+  EXPECT_DOUBLE_EQ(dl.rate_multiplier, 1.5);
+  EXPECT_EQ(dl.slot_duration, sim::milliseconds(500));
+  EXPECT_EQ(dl.packet_bytes, 576);
+  const auto ds = d.default_flid_config(flid_mode::ds);
+  EXPECT_EQ(ds.slot_duration, sim::milliseconds(250));
+  EXPECT_EQ(ds.key_bits, 16);
+}
+
+TEST(scenario, bottleneck_buffer_is_two_bdp) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.base_rtt = sim::milliseconds(80);
+  dumbbell d(cfg);
+  // 2 x 1 Mbps x 80 ms / 8 = 20 KB.
+  EXPECT_EQ(d.bottleneck()->config().queue_capacity_bytes, 20'000);
+}
+
+TEST(scenario, sessions_get_distinct_ids_and_group_ranges) {
+  dumbbell_config cfg;
+  dumbbell d(cfg);
+  auto& s1 = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  auto& s2 = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  EXPECT_NE(s1.config.session_id, s2.config.session_id);
+  EXPECT_NE(s1.config.group_addr_base, s2.config.group_addr_base);
+  // Address ranges must not overlap.
+  const int end1 = s1.config.group_addr_base + s1.config.num_groups;
+  EXPECT_LE(end1, s2.config.group_addr_base);
+}
+
+TEST(scenario, ds_sessions_are_protected_dl_sessions_are_not) {
+  dumbbell_config cfg;
+  dumbbell d(cfg);
+  auto& dl = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  auto& ds = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  EXPECT_FALSE(d.net().is_sigma_protected(dl.config.group(1)));
+  EXPECT_TRUE(d.net().is_sigma_protected(ds.config.group(1)));
+  EXPECT_EQ(dl.ds.delta, nullptr);
+  EXPECT_NE(ds.ds.delta, nullptr);
+}
+
+TEST(scenario, adding_after_run_is_rejected) {
+  dumbbell_config cfg;
+  dumbbell d(cfg);
+  d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::seconds(1.0));
+  EXPECT_THROW(d.add_tcp_flow(), util::invariant_error);
+  EXPECT_THROW(d.add_flid_session(flid_mode::dl, {receiver_options{}}),
+               util::invariant_error);
+}
+
+TEST(scenario, multi_receiver_sessions_share_one_bottleneck_stream) {
+  // 4 receivers of one session: the bottleneck carries the session once.
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  dumbbell d(cfg);
+  auto& s =
+      d.add_flid_session(flid_mode::dl, {receiver_options{}, receiver_options{},
+                                         receiver_options{}, receiver_options{}});
+  d.run_until(sim::seconds(30.0));
+  // All four receivers got roughly the same bytes...
+  const double r0 = s.receiver(0).monitor().average_kbps(sim::seconds(10.0),
+                                                         sim::seconds(30.0));
+  for (int i = 1; i < 4; ++i) {
+    const double ri = s.receiver(i).monitor().average_kbps(
+        sim::seconds(10.0), sim::seconds(30.0));
+    EXPECT_NEAR(ri, r0, 0.15 * r0);
+  }
+  // ...but the bottleneck carried only ~one copy of the session (not four).
+  const double bottleneck_kbps =
+      8.0 * static_cast<double>(d.bottleneck()->stats().bytes_delivered) /
+      sim::to_seconds(sim::seconds(30.0)) / 1e3;
+  EXPECT_LT(bottleneck_kbps, 2.0 * r0);
+}
+
+TEST(scenario, average_receiver_kbps_averages_across_receivers) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  dumbbell d(cfg);
+  auto& s = d.add_flid_session(flid_mode::dl,
+                               {receiver_options{}, receiver_options{}});
+  d.run_until(sim::seconds(20.0));
+  const double avg =
+      average_receiver_kbps(s, sim::seconds(5.0), sim::seconds(20.0));
+  const double r0 =
+      s.receiver(0).monitor().average_kbps(sim::seconds(5.0), sim::seconds(20.0));
+  const double r1 =
+      s.receiver(1).monitor().average_kbps(sim::seconds(5.0), sim::seconds(20.0));
+  EXPECT_NEAR(avg, (r0 + r1) / 2.0, 1e-9);
+}
+
+TEST(scenario, seeds_change_outcomes_deterministically) {
+  const auto run_once = [](std::uint64_t seed) {
+    dumbbell_config cfg;
+    cfg.bottleneck_bps = 500e3;
+    cfg.seed = seed;
+    dumbbell d(cfg);
+    auto& s = d.add_flid_session(flid_mode::dl, {receiver_options{}});
+    d.add_tcp_flow();
+    d.run_until(sim::seconds(30.0));
+    return s.receiver().monitor().total_bytes();
+  };
+  // Same seed -> identical simulation; different seed -> different run.
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace mcc::exp

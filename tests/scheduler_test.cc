@@ -1,0 +1,149 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcc::sim {
+namespace {
+
+TEST(scheduler, starts_at_time_zero) {
+  scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(scheduler, events_fire_in_time_order) {
+  scheduler s;
+  std::vector<int> order;
+  s.at(milliseconds(30), [&] { order.push_back(3); });
+  s.at(milliseconds(10), [&] { order.push_back(1); });
+  s.at(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(scheduler, equal_time_events_fire_in_scheduling_order) {
+  scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(milliseconds(5), [&, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(scheduler, now_advances_to_event_time) {
+  scheduler s;
+  time_ns seen = -1;
+  s.at(seconds(1.5), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, seconds(1.5));
+  EXPECT_EQ(s.now(), seconds(1.5));
+}
+
+TEST(scheduler, after_is_relative_to_now) {
+  scheduler s;
+  time_ns seen = -1;
+  s.at(milliseconds(100), [&] {
+    s.after(milliseconds(50), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, milliseconds(150));
+}
+
+TEST(scheduler, run_until_stops_at_horizon) {
+  scheduler s;
+  int fired = 0;
+  s.at(milliseconds(10), [&] { ++fired; });
+  s.at(milliseconds(30), [&] { ++fired; });
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), milliseconds(20));
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(milliseconds(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(scheduler, rejects_events_in_the_past) {
+  scheduler s;
+  s.at(milliseconds(10), [] {});
+  s.run_until(milliseconds(20));
+  EXPECT_THROW(s.at(milliseconds(5), [] {}), util::invariant_error);
+}
+
+TEST(scheduler, cancel_prevents_execution) {
+  scheduler s;
+  int fired = 0;
+  event_handle h = s.at(milliseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(scheduler, cancel_is_idempotent_and_safe_after_fire) {
+  scheduler s;
+  int fired = 0;
+  event_handle h = s.at(milliseconds(1), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+  h.cancel();
+}
+
+TEST(scheduler, default_handle_is_inert) {
+  event_handle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(scheduler, events_scheduled_during_execution_run) {
+  scheduler s;
+  std::vector<int> order;
+  s.at(milliseconds(10), [&] {
+    order.push_back(1);
+    s.after(0, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(scheduler, executed_event_count) {
+  scheduler s;
+  for (int i = 0; i < 5; ++i) s.at(milliseconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(scheduler, cascading_chain_terminates_at_horizon) {
+  scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    s.after(milliseconds(10), tick);
+  };
+  s.at(0, tick);
+  s.run_until(milliseconds(95));
+  EXPECT_EQ(count, 10);  // t = 0, 10, ..., 90
+}
+
+TEST(time_helpers, conversions_are_consistent) {
+  EXPECT_EQ(seconds(1.0), 1'000'000'000);
+  EXPECT_EQ(milliseconds(250), 250'000'000);
+  EXPECT_EQ(microseconds(5), 5'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(80)), 80.0);
+}
+
+TEST(time_helpers, transmission_time_matches_rate) {
+  // 1000 bytes at 1 Mbps = 8 ms.
+  EXPECT_EQ(transmission_time(1000, 1e6), milliseconds(8));
+  // 576 bytes at 10 Mbps = 460.8 us.
+  EXPECT_EQ(transmission_time(576, 10e6), nanoseconds(460'800));
+}
+
+}  // namespace
+}  // namespace mcc::sim

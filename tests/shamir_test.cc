@@ -1,0 +1,185 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mcc::crypto {
+namespace {
+
+TEST(gf61, add_wraps_at_prime) {
+  EXPECT_EQ(gf61::add(shamir_prime - 1, 1), 0u);
+  EXPECT_EQ(gf61::add(shamir_prime - 1, 2), 1u);
+}
+
+TEST(gf61, sub_wraps_below_zero) {
+  EXPECT_EQ(gf61::sub(0, 1), shamir_prime - 1);
+  EXPECT_EQ(gf61::sub(5, 3), 2u);
+}
+
+TEST(gf61, mul_matches_small_products) {
+  EXPECT_EQ(gf61::mul(7, 9), 63u);
+  EXPECT_EQ(gf61::mul(0, 12345), 0u);
+  EXPECT_EQ(gf61::mul(1, 12345), 12345u);
+}
+
+TEST(gf61, mul_reduces_large_products) {
+  const std::uint64_t big = shamir_prime - 1;
+  // (p-1)^2 mod p = 1.
+  EXPECT_EQ(gf61::mul(big, big), 1u);
+}
+
+TEST(gf61, inverse_roundtrip) {
+  prng g(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = g.next() % shamir_prime;
+    if (a == 0) continue;
+    EXPECT_EQ(gf61::mul(a, gf61::inv(a)), 1u);
+  }
+}
+
+TEST(gf61, inv_of_zero_throws) {
+  EXPECT_THROW((void)gf61::inv(0), util::invariant_error);
+}
+
+TEST(gf61, pow_matches_repeated_multiplication) {
+  std::uint64_t acc = 1;
+  for (int e = 0; e < 16; ++e) {
+    EXPECT_EQ(gf61::pow(3, static_cast<std::uint64_t>(e)), acc);
+    acc = gf61::mul(acc, 3);
+  }
+}
+
+TEST(shamir, split_produces_n_distinct_points) {
+  prng g(1);
+  const auto shares = shamir_split(777, 3, 10, g);
+  ASSERT_EQ(shares.size(), 10u);
+  std::set<std::uint64_t> xs;
+  for (const auto& s : shares) xs.insert(s.x);
+  EXPECT_EQ(xs.size(), 10u);
+}
+
+TEST(shamir, reconstruct_from_first_k) {
+  prng g(2);
+  const auto shares = shamir_split(123456789, 4, 8, g);
+  const std::vector<shamir_share> subset(shares.begin(), shares.begin() + 4);
+  EXPECT_EQ(shamir_reconstruct(subset), 123456789u);
+}
+
+TEST(shamir, reconstruct_from_any_subset) {
+  prng g(3);
+  const std::uint64_t secret = 0xfeedface;
+  const auto shares = shamir_split(secret, 3, 7, g);
+  // Try every 3-subset.
+  for (std::size_t a = 0; a < shares.size(); ++a) {
+    for (std::size_t b = a + 1; b < shares.size(); ++b) {
+      for (std::size_t c = b + 1; c < shares.size(); ++c) {
+        const std::vector<shamir_share> subset = {shares[a], shares[b],
+                                                  shares[c]};
+        EXPECT_EQ(shamir_reconstruct(subset), secret);
+      }
+    }
+  }
+}
+
+TEST(shamir, more_than_k_shares_also_work) {
+  prng g(4);
+  const auto shares = shamir_split(42, 2, 6, g);
+  EXPECT_EQ(shamir_reconstruct(shares), 42u);
+}
+
+TEST(shamir, fewer_than_k_shares_yield_wrong_secret) {
+  prng g(5);
+  const std::uint64_t secret = 99999;
+  const auto shares = shamir_split(secret, 5, 10, g);
+  const std::vector<shamir_share> subset(shares.begin(), shares.begin() + 4);
+  // Interpolating 4 points of a degree-4 polynomial gives a degree-3 fit
+  // whose value at 0 is (with overwhelming probability) not the secret.
+  EXPECT_NE(shamir_reconstruct(subset), secret);
+}
+
+TEST(shamir, k_equals_one_is_replication) {
+  prng g(6);
+  const auto shares = shamir_split(31337, 1, 5, g);
+  for (const auto& s : shares) {
+    const std::vector<shamir_share> one = {s};
+    EXPECT_EQ(shamir_reconstruct(one), 31337u);
+  }
+}
+
+TEST(shamir, k_equals_n_needs_all) {
+  prng g(7);
+  const std::uint64_t secret = 2024;
+  const auto shares = shamir_split(secret, 6, 6, g);
+  EXPECT_EQ(shamir_reconstruct(shares), secret);
+  const std::vector<shamir_share> missing_one(shares.begin(),
+                                              shares.begin() + 5);
+  EXPECT_NE(shamir_reconstruct(missing_one), secret);
+}
+
+TEST(shamir, duplicate_share_x_is_rejected) {
+  prng g(8);
+  auto shares = shamir_split(5, 2, 3, g);
+  const std::vector<shamir_share> dup = {shares[0], shares[0]};
+  EXPECT_THROW((void)shamir_reconstruct(dup), util::invariant_error);
+}
+
+TEST(shamir, invalid_parameters_are_rejected) {
+  prng g(9);
+  EXPECT_THROW((void)shamir_split(1, 0, 3, g), util::invariant_error);
+  EXPECT_THROW((void)shamir_split(1, 4, 3, g), util::invariant_error);
+  EXPECT_THROW((void)shamir_split(shamir_prime, 2, 3, g),
+               util::invariant_error);
+}
+
+TEST(shamir, key_wrappers_roundtrip) {
+  prng g(10);
+  const group_key key = mask_to_bits(group_key{g.next()}, 16);
+  const auto shares = shamir_split_key(key, 3, 5, g);
+  const std::vector<shamir_share> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(shamir_reconstruct_key(subset), key);
+}
+
+TEST(shamir, secret_zero_works) {
+  prng g(11);
+  const auto shares = shamir_split(0, 3, 5, g);
+  const std::vector<shamir_share> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_EQ(shamir_reconstruct(subset), 0u);
+}
+
+struct shamir_param {
+  int k;
+  int n;
+};
+
+class shamir_sweep : public ::testing::TestWithParam<shamir_param> {};
+
+TEST_P(shamir_sweep, threshold_boundary_is_exact) {
+  const auto [k, n] = GetParam();
+  prng g(static_cast<std::uint64_t>(k * 1000 + n));
+  const std::uint64_t secret = g.next() % shamir_prime;
+  const auto shares = shamir_split(secret, k, n, g);
+
+  // Exactly k shares reconstruct.
+  std::vector<shamir_share> at_k(shares.begin(), shares.begin() + k);
+  EXPECT_EQ(shamir_reconstruct(at_k), secret) << "k=" << k << " n=" << n;
+
+  // k-1 shares do not (for k >= 2).
+  if (k >= 2) {
+    std::vector<shamir_share> below(shares.begin(), shares.begin() + k - 1);
+    EXPECT_NE(shamir_reconstruct(below), secret) << "k=" << k << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    k_n_grid, shamir_sweep,
+    ::testing::Values(shamir_param{1, 1}, shamir_param{1, 8},
+                      shamir_param{2, 2}, shamir_param{2, 10},
+                      shamir_param{3, 4}, shamir_param{5, 5},
+                      shamir_param{7, 12}, shamir_param{10, 30},
+                      shamir_param{25, 50}, shamir_param{40, 40}));
+
+}  // namespace
+}  // namespace mcc::crypto

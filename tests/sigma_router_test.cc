@@ -1,0 +1,154 @@
+// SIGMA edge-router behaviour: control-packet decoding, key validation,
+// grace windows, probation, stale pruning, and attack containment.
+#include "core/sigma_router.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flid_ds.h"
+#include "exp/scenario.h"
+
+namespace mcc::core {
+namespace {
+
+using exp::dumbbell;
+using exp::dumbbell_config;
+using exp::flid_mode;
+using exp::receiver_options;
+
+struct sigma_fixture : ::testing::Test {
+  sigma_fixture() {
+    dumbbell_config cfg;
+    cfg.bottleneck_bps = 10e6;  // uncongested unless a test says otherwise
+    d = std::make_unique<dumbbell>(cfg);
+  }
+  std::unique_ptr<dumbbell> d;
+};
+
+TEST_F(sigma_fixture, ctrl_blocks_decode_at_router) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  d->run_until(sim::seconds(5.0));
+  EXPECT_GT(d->sigma().stats().ctrl_shards, 0u);
+  EXPECT_GT(d->sigma().stats().blocks_decoded, 0u);
+  (void)session;
+}
+
+TEST_F(sigma_fixture, honest_receiver_is_admitted_and_climbs) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  d->run_until(sim::seconds(60.0));
+  EXPECT_EQ(session.receiver().level(), session.config.num_groups);
+  EXPECT_GT(d->sigma().stats().valid_keys, 0u);
+  EXPECT_EQ(d->sigma().stats().invalid_keys, 0u);
+}
+
+TEST_F(sigma_fixture, subscription_messages_flow_every_slot) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  d->run_until(sim::seconds(20.0));
+  // One subscription per evaluated slot (~4 slots/s at 250 ms).
+  EXPECT_GT(d->sigma().stats().subscribe_msgs, 10u);
+  (void)session;
+}
+
+TEST_F(sigma_fixture, raw_igmp_join_to_protected_group_is_refused) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  // A fresh host tries to IGMP-join group 5 of the protected session.
+  const auto intruder = d->net().add_host("intruder");
+  sim::link_config ac;
+  d->net().connect(d->right_router(), intruder, ac);
+  mcast::membership_client client(d->net(), intruder, d->right_router());
+  d->sched().at(sim::seconds(1.0),
+                [&] { client.join(session.config.group(5)); });
+  d->run_until(sim::seconds(10.0));
+  // The intruder host received nothing.
+  EXPECT_EQ(d->net().get(intruder)->stats().delivered_local, 0u);
+}
+
+TEST_F(sigma_fixture, session_join_lying_about_minimal_group_is_refused) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  const auto intruder = d->net().add_host("liar");
+  sim::link_config ac;
+  d->net().connect(d->right_router(), intruder, ac);
+  d->net().get(intruder)->host_join(session.config.group(8));
+  d->sched().at(sim::seconds(1.0), [&] {
+    sim::packet p;
+    p.size_bytes = 20;
+    p.dst = sim::dest::to_node(d->right_router());
+    // Claim the high-rate group 8 is "minimal".
+    p.hdr = sim::sigma_session_join{session.config.session_id,
+                                    session.config.group(8)};
+    d->net().get(intruder)->send(std::move(p));
+  });
+  d->run_until(sim::seconds(10.0));
+  EXPECT_GT(d->sigma().stats().session_joins_refused, 0u);
+  EXPECT_EQ(d->net().get(intruder)->stats().delivered_local, 0u);
+}
+
+TEST_F(sigma_fixture, keyless_session_join_gets_grace_then_cutoff) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  // A receiver that session-joins but never submits keys: gets the minimal
+  // group for the grace window, then is cut off (probation block).
+  const auto freeloader = d->net().add_host("freeloader");
+  sim::link_config ac;
+  d->net().connect(d->right_router(), freeloader, ac);
+  d->net().get(freeloader)->host_join(session.config.group(1));
+  d->sched().at(sim::seconds(2.0), [&] {
+    sim::packet p;
+    p.size_bytes = 20;
+    p.dst = sim::dest::to_node(d->right_router());
+    p.hdr = sim::sigma_session_join{session.config.session_id,
+                                    session.config.group(1)};
+    d->net().get(freeloader)->send(std::move(p));
+  });
+  d->run_until(sim::seconds(20.0));
+  // It received the grace window's worth of packets...
+  EXPECT_GT(d->net().get(freeloader)->stats().delivered_local, 0u);
+  // ...but was then blocked.
+  EXPECT_GT(d->sigma().stats().probation_blocks, 0u);
+  // Grace is ~3 slots of the ~5.4 packet/slot minimal group: the freeloader
+  // must not have kept receiving for the whole 18 s.
+  EXPECT_LT(d->net().get(freeloader)->stats().delivered_local, 60u);
+}
+
+TEST_F(sigma_fixture, random_key_guessing_fails_and_is_tallied) {
+  receiver_options attacker;
+  attacker.inflate = true;
+  attacker.inflate_at = sim::seconds(5.0);
+  attacker.attack_keys = misbehaving_sigma_strategy::key_mode::guess;
+  auto& session = d->add_flid_session(flid_mode::ds, {attacker});
+  d->run_until(sim::seconds(30.0));
+  EXPECT_GT(d->sigma().stats().invalid_keys, 0u);
+  // The attacker still reaches the top in an *uncongested* network — that is
+  // its honest entitlement; guessing added nothing (all guesses invalid).
+  (void)session;
+  sim::link* iface = d->net().next_hop(
+      d->right_router(), session.receivers.front()->host());
+  EXPECT_GT(d->sigma().guess_tally(iface), 0u);
+}
+
+TEST_F(sigma_fixture, stale_authorization_is_pruned) {
+  auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
+  d->run_until(sim::seconds(20.0));
+  const auto before = d->net().get(d->right_router())->stats().policy_denied;
+  // Destroy the receiver so no more subscriptions arrive; the router must
+  // prune within ~2 slots.
+  session.receivers.clear();
+  d->run_until(sim::seconds(30.0));
+  EXPECT_GT(d->sigma().stats().stale_prunes, 0u);
+  // After pruning, denials stop growing (traffic no longer reaches it).
+  const auto mid = d->net().get(d->right_router())->stats().policy_denied;
+  d->run_until(sim::seconds(40.0));
+  const auto after = d->net().get(d->right_router())->stats().policy_denied;
+  EXPECT_LE(after - mid, mid - before + 8);
+}
+
+TEST(sigma_router, unsubscribes_accompany_downgrades_under_congestion) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 250e3;  // the session must repeatedly shed layers
+  dumbbell d(cfg);
+  auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+  EXPECT_GT(session.receiver().stats().downgrades, 0u);
+  EXPECT_GT(d.sigma().stats().unsubscribes, 0u);
+}
+
+}  // namespace
+}  // namespace mcc::core

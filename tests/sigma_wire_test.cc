@@ -1,0 +1,143 @@
+#include "core/sigma_wire.h"
+
+#include <gtest/gtest.h>
+
+namespace mcc::core {
+namespace {
+
+sigma_key_block sample_block(int key_bits = 16) {
+  sigma_key_block b;
+  b.session_id = 5;
+  b.target_slot = 412;
+  b.slot_duration = sim::milliseconds(250);
+  b.key_bits = key_bits;
+  for (int g = 1; g <= 4; ++g) {
+    key_tuple t;
+    t.top = crypto::mask_to_bits(
+        crypto::group_key{0x1111ULL * static_cast<std::uint64_t>(g)}, key_bits);
+    if (g <= 3) t.dec = crypto::mask_to_bits(crypto::group_key{0xaa00u + static_cast<std::uint64_t>(g)}, key_bits);
+    if (g >= 2 && g % 2 == 0) {
+      t.inc = crypto::mask_to_bits(crypto::group_key{0xbb00u + static_cast<std::uint64_t>(g)}, key_bits);
+    }
+    b.entries.emplace_back(sim::group_addr{1000 + g}, t);
+  }
+  return b;
+}
+
+TEST(key_tuple, matches_any_present_key) {
+  key_tuple t;
+  t.top = crypto::group_key{1};
+  t.dec = crypto::group_key{2};
+  EXPECT_TRUE(t.matches(crypto::group_key{1}));
+  EXPECT_TRUE(t.matches(crypto::group_key{2}));
+  EXPECT_FALSE(t.matches(crypto::group_key{3}));
+  t.inc = crypto::group_key{3};
+  EXPECT_TRUE(t.matches(crypto::group_key{3}));
+}
+
+TEST(sigma_wire, roundtrip_16_bit) {
+  const auto b = sample_block(16);
+  const auto bytes = serialize(b);
+  const auto back = deserialize_key_block(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->session_id, b.session_id);
+  EXPECT_EQ(back->target_slot, b.target_slot);
+  EXPECT_EQ(back->slot_duration, b.slot_duration);
+  EXPECT_EQ(back->key_bits, 16);
+  ASSERT_EQ(back->entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    EXPECT_EQ(back->entries[i].first, b.entries[i].first);
+    EXPECT_EQ(back->entries[i].second.top, b.entries[i].second.top);
+    EXPECT_EQ(back->entries[i].second.dec, b.entries[i].second.dec);
+    EXPECT_EQ(back->entries[i].second.inc, b.entries[i].second.inc);
+  }
+}
+
+TEST(sigma_wire, roundtrip_other_key_widths) {
+  for (int bits : {32, 64}) {
+    const auto b = sample_block(bits);
+    const auto back = deserialize_key_block(serialize(b));
+    ASSERT_TRUE(back.has_value()) << bits;
+    EXPECT_EQ(back->key_bits, bits);
+    EXPECT_EQ(back->entries.size(), b.entries.size());
+  }
+}
+
+TEST(sigma_wire, sixteen_bit_keys_truncate_on_the_wire) {
+  sigma_key_block b;
+  b.session_id = 1;
+  b.target_slot = 1;
+  b.slot_duration = sim::milliseconds(500);
+  b.key_bits = 16;
+  key_tuple t;
+  t.top = crypto::group_key{0x123456789abcdef0ULL};
+  b.entries.emplace_back(sim::group_addr{1}, t);
+  const auto back = deserialize_key_block(serialize(b));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->entries[0].second.top.value, 0xdef0u);
+}
+
+TEST(sigma_wire, truncated_buffer_fails_safely) {
+  const auto bytes = serialize(sample_block());
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    const std::vector<std::uint8_t> part(bytes.begin(),
+                                         bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(deserialize_key_block(part).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(sigma_wire, garbage_key_width_rejected) {
+  auto bytes = serialize(sample_block());
+  bytes[20] = 7;  // key_bits field offset: 4 + 8 + 8 = 20
+  EXPECT_FALSE(deserialize_key_block(bytes).has_value());
+}
+
+TEST(sigma_wire, empty_block_roundtrips) {
+  sigma_key_block b;
+  b.session_id = 9;
+  b.target_slot = 0;
+  b.slot_duration = sim::milliseconds(100);
+  b.key_bits = 16;
+  const auto back = deserialize_key_block(serialize(b));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->entries.empty());
+}
+
+TEST(sigma_wire, block_from_keys_maps_indices_to_addresses) {
+  delta_layered_sender sender(3, 4, 16, 7);
+  std::vector<int> counts = {0, 2, 2, 2, 2};
+  sender.begin_slot(10, /*auth=*/1u << 3, counts);
+  const delta_slot_keys* keys = sender.keys_for(12);
+  ASSERT_NE(keys, nullptr);
+  const std::vector<sim::group_addr> groups = {
+      sim::group_addr{100}, sim::group_addr{101}, sim::group_addr{102},
+      sim::group_addr{103}};
+  const auto block =
+      block_from_keys(*keys, groups, sim::milliseconds(250), 16);
+  EXPECT_EQ(block.session_id, 3);
+  EXPECT_EQ(block.target_slot, 12);
+  ASSERT_EQ(block.entries.size(), 4u);
+  // Entry g: top key always, decrease for g <= N-1, increase iff authorized.
+  for (int g = 1; g <= 4; ++g) {
+    const auto& [addr, tuple] = block.entries[static_cast<std::size_t>(g - 1)];
+    EXPECT_EQ(addr.value, 100 + g - 1);
+    EXPECT_EQ(tuple.top, keys->top[static_cast<std::size_t>(g)]);
+    EXPECT_EQ(tuple.dec.has_value(), g <= 3);
+    EXPECT_EQ(tuple.inc.has_value(), g == 3);
+  }
+}
+
+TEST(sigma_wire, serialized_size_matches_16bit_accounting) {
+  // header: 4 (session) + 8 (slot) + 8 (duration) + 1 (bits) + 2 (count).
+  // entry: 4 (addr) + 1 (flags) + 2 (top) + 2 (dec, if any) + 2 (inc, if any).
+  const auto b = sample_block(16);
+  std::size_t expect = 23;
+  for (const auto& [addr, t] : b.entries) {
+    expect += 7 + (t.dec ? 2 : 0) + (t.inc ? 2 : 0);
+  }
+  EXPECT_EQ(serialize(b).size(), expect);
+}
+
+}  // namespace
+}  // namespace mcc::core

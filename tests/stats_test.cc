@@ -1,0 +1,99 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace mcc::sim {
+namespace {
+
+TEST(throughput_monitor, average_over_interval) {
+  scheduler s;
+  throughput_monitor m(s, milliseconds(1000));
+  s.at(milliseconds(500), [&] { m.on_bytes(1250); });   // bin 0
+  s.at(milliseconds(1500), [&] { m.on_bytes(1250); });  // bin 1
+  s.run();
+  // 2500 bytes over 2 s = 10 Kbps.
+  EXPECT_NEAR(m.average_kbps(0, seconds(2.0)), 10.0, 1e-9);
+  // Only the first second: 1250 bytes = 10 Kbps.
+  EXPECT_NEAR(m.average_kbps(0, seconds(1.0)), 10.0, 1e-9);
+}
+
+TEST(throughput_monitor, total_bytes_accumulate) {
+  scheduler s;
+  throughput_monitor m(s);
+  s.at(milliseconds(100), [&] { m.on_bytes(100); });
+  s.at(milliseconds(200), [&] { m.on_bytes(200); });
+  s.run();
+  EXPECT_EQ(m.total_bytes(), 300);
+}
+
+TEST(throughput_monitor, empty_interval_is_zero) {
+  scheduler s;
+  throughput_monitor m(s);
+  s.at(milliseconds(100), [&] { m.on_bytes(500); });
+  s.run();
+  EXPECT_DOUBLE_EQ(m.average_kbps(seconds(5.0), seconds(6.0)), 0.0);
+}
+
+TEST(throughput_monitor, rejects_empty_time_range) {
+  scheduler s;
+  throughput_monitor m(s);
+  EXPECT_THROW((void)m.average_kbps(seconds(1.0), seconds(1.0)),
+               util::invariant_error);
+}
+
+TEST(throughput_monitor, series_has_one_point_per_bin) {
+  scheduler s;
+  throughput_monitor m(s, milliseconds(1000));
+  for (int t = 0; t < 5; ++t) {
+    s.at(milliseconds(t * 1000 + 500), [&] { m.on_bytes(1000); });
+  }
+  s.run();
+  const auto series = m.series_kbps(milliseconds(1000));
+  ASSERT_EQ(series.size(), 5u);
+  // Constant input: every smoothed point equals 8 Kbps.
+  for (const auto& [t, kbps] : series) EXPECT_NEAR(kbps, 8.0, 1e-9);
+}
+
+TEST(throughput_monitor, smoothing_window_averages_bursts) {
+  scheduler s;
+  throughput_monitor m(s, milliseconds(1000));
+  s.at(milliseconds(2500), [&] { m.on_bytes(3000); });  // burst in bin 2
+  s.at(milliseconds(4500), [&] { m.on_bytes(0); });     // extend to 5 bins
+  s.run();
+  const auto narrow = m.series_kbps(milliseconds(1000));
+  const auto wide = m.series_kbps(milliseconds(5000));
+  // Narrow window: the burst bin shows the full rate.
+  EXPECT_NEAR(narrow[2].second, 24.0, 1e-9);
+  // Wide window: the burst is spread over 5 bins.
+  EXPECT_LT(wide[2].second, narrow[2].second);
+}
+
+TEST(jain_index, equal_rates_give_one) {
+  const std::array<double, 4> rates = {100.0, 100.0, 100.0, 100.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(rates), 1.0);
+}
+
+TEST(jain_index, single_hog_gives_one_over_n) {
+  const std::array<double, 4> rates = {400.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(rates), 0.25);
+}
+
+TEST(jain_index, intermediate_case) {
+  const std::array<double, 2> rates = {300.0, 100.0};
+  // (400)^2 / (2 * (90000 + 10000)) = 160000 / 200000 = 0.8.
+  EXPECT_DOUBLE_EQ(jain_fairness_index(rates), 0.8);
+}
+
+TEST(jain_index, all_zero_rates_count_as_fair) {
+  const std::array<double, 3> rates = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(rates), 1.0);
+}
+
+TEST(jain_index, rejects_empty_input) {
+  EXPECT_THROW((void)jain_fairness_index({}), util::invariant_error);
+}
+
+}  // namespace
+}  // namespace mcc::sim

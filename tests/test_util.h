@@ -1,0 +1,64 @@
+// Shared helpers for unit tests: packet capture agents and small topologies.
+#ifndef MCC_TESTS_TEST_UTIL_H
+#define MCC_TESTS_TEST_UTIL_H
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace mcc::testing {
+
+/// Agent that records every packet delivered to its node.
+class capture_agent : public sim::agent {
+ public:
+  explicit capture_agent(sim::network& net, sim::node_id host) {
+    net.get(host)->add_agent(this);
+  }
+
+  bool handle_packet(const sim::packet& p, sim::link*) override {
+    packets.push_back(p);
+    return consume;
+  }
+
+  std::vector<sim::packet> packets;
+  bool consume = true;
+};
+
+/// Two hosts connected through two routers in a line:
+///   h1 -- r1 -- r2 -- h2
+struct line_topology {
+  explicit line_topology(sim::scheduler& sched, double bps = 10e6,
+                         sim::time_ns delay = sim::milliseconds(10))
+      : net(sched) {
+    h1 = net.add_host("h1");
+    r1 = net.add_router("r1");
+    r2 = net.add_router("r2");
+    h2 = net.add_host("h2");
+    sim::link_config cfg;
+    cfg.bps = bps;
+    cfg.delay = delay;
+    net.connect(h1, r1, cfg);
+    auto [m, mr] = net.connect(r1, r2, cfg);
+    middle = m;
+    middle_rev = mr;
+    net.connect(r2, h2, cfg);
+    net.finalize_routing();
+  }
+
+  sim::network net;
+  sim::node_id h1, r1, r2, h2;
+  sim::link* middle = nullptr;
+  sim::link* middle_rev = nullptr;
+};
+
+/// A unicast packet with no protocol header.
+inline sim::packet make_packet(int size, sim::node_id dst) {
+  sim::packet p;
+  p.size_bytes = size;
+  p.dst = sim::dest::to_node(dst);
+  return p;
+}
+
+}  // namespace mcc::testing
+
+#endif  // MCC_TESTS_TEST_UTIL_H
