@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -33,15 +33,13 @@ int main(int argc, char** argv) {
     // Same seed for every FEC configuration: identical cross traffic, so the
     // decode rates are directly comparable.
     cfg.seed = static_cast<std::uint64_t>(flags.i64("seed"));
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
 
     // Hand-build the session so we control the emitter's FEC parameters.
     flid::flid_config fc = d.default_flid_config(exp::flid_mode::ds);
     fc.session_id = 90;
     fc.group_addr_base = 40'000;
-    const auto src = d.net().add_host("fec_src");
-    sim::link_config ac;
-    d.net().connect(src, d.left_router(), ac);
+    const auto src = d.attach_host("fec_src", "l");
     flid::flid_sender sender(d.net(), src, fc, cfg.seed);
     core::sigma_emitter_config em_cfg;
     em_cfg.data_shards = fc_case.k;
@@ -50,9 +48,8 @@ int main(int argc, char** argv) {
                                         em_cfg);
     sender.start(0);
 
-    const auto rcv = d.net().add_host("fec_rcv");
-    d.net().connect(d.right_router(), rcv, ac);
-    flid::flid_receiver receiver(d.net(), rcv, d.right_router(), fc,
+    const auto rcv = d.attach_host("fec_rcv", "r");
+    flid::flid_receiver receiver(d.net(), rcv, d.router("r"), fc,
                                  std::make_unique<core::honest_sigma_strategy>());
     receiver.start(0);
 

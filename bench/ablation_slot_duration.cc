@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "sim/stats.h"
 #include "util/flags.h"
 
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = 1e6;
     cfg.seed = static_cast<std::uint64_t>(flags.i64("seed") + slot_ms);
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
 
     flid::flid_config fc = d.default_flid_config(exp::flid_mode::ds);
     fc.slot_duration = sim::milliseconds(slot_ms);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -27,7 +27,7 @@ run_result run(exp::flid_mode mode, int sessions, double duration_s,
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3 * sessions;
   cfg.seed = seed;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
   std::vector<exp::flid_session*> handles;
   for (int i = 0; i < sessions; ++i) {
     handles.push_back(

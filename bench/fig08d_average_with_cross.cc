@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -21,7 +21,7 @@ double run(exp::flid_mode mode, int sessions, double duration_s,
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3 * (2 * sessions);
   cfg.seed = seed;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
   std::vector<exp::flid_session*> handles;
   for (int i = 0; i < sessions; ++i) {
     handles.push_back(&d.add_flid_session(mode, {exp::receiver_options{}}));

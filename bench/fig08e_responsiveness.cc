@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -22,7 +22,7 @@ exp::series run(exp::flid_mode mode, double duration_s, std::uint64_t seed) {
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 1.25e6;
   cfg.seed = seed;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
   auto& session = d.add_flid_session(mode, {exp::receiver_options{}});
   traffic::cbr_config cbr;
   cbr.rate_bps = 800e3;

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -20,7 +20,7 @@ exp::series run(exp::flid_mode mode, double duration_s, std::uint64_t seed) {
   cfg.bottleneck_bps = 250e3;
   cfg.bottleneck_delay = sim::milliseconds(5);
   cfg.seed = seed;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
 
   // RTT = 2 * (source access 10 ms + bottleneck 5 ms + receiver access x):
   // x_i chosen so RTTs cover [30, 220] ms uniformly across 20 receivers.

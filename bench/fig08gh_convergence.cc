@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -19,7 +19,7 @@ void run(exp::flid_mode mode, const char* panel, double duration_s,
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3;
   cfg.seed = seed;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
   std::vector<exp::receiver_options> receivers(4);
   for (int i = 0; i < 4; ++i) {
     receivers[static_cast<std::size_t>(i)].start_time = sim::seconds(10.0 * i);

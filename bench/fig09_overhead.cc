@@ -15,7 +15,7 @@
 
 #include "core/overhead.h"
 #include "exp/report.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -34,7 +34,7 @@ point run(int num_groups, double slot_seconds, double duration_s,
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;  // uncongested: overhead is a sender property
   cfg.seed = seed;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
 
   flid::flid_config fc = d.default_flid_config(exp::flid_mode::ds);
   fc.num_groups = num_groups;

@@ -2,7 +2,7 @@
 // and end-to-end packet forwarding cost, plus a whole-scenario pps figure.
 #include <benchmark/benchmark.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "sim/scheduler.h"
 
 using namespace mcc;
@@ -42,7 +42,7 @@ static void bm_tcp_over_dumbbell(benchmark::State& state) {
   for (auto _ : state) {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = 10e6;
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
     d.add_tcp_flow();
     d.run_until(sim::seconds(static_cast<double>(state.range(0))));
     benchmark::DoNotOptimize(d.sched().executed_events());
@@ -56,7 +56,7 @@ static void bm_flid_ds_session_second(benchmark::State& state) {
   for (auto _ : state) {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = 10e6;
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
     d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
     d.run_until(sim::seconds(static_cast<double>(state.range(0))));
     benchmark::DoNotOptimize(d.sched().executed_events());
@@ -70,7 +70,7 @@ static void bm_attack_scenario(benchmark::State& state) {
   for (auto _ : state) {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = 1e6;
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
     exp::receiver_options attacker;
     attacker.inflate = true;
     attacker.inflate_at = sim::seconds(10.0);

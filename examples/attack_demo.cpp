@@ -6,7 +6,7 @@
 #include <array>
 #include <cstdio>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "sim/stats.h"
 
 using namespace mcc;
@@ -18,7 +18,7 @@ void run_world(exp::flid_mode mode, const char* title) {
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 1e6;  // fair share: 250 Kbps for each of 4 receivers
   cfg.seed = 7;
-  exp::dumbbell net(cfg);
+  exp::testbed net(exp::dumbbell(cfg));
 
   exp::receiver_options attacker;
   attacker.inflate = true;

@@ -1,16 +1,21 @@
 // Quickstart: one FLID-DS session over a single-bottleneck topology.
 //
-// Builds the paper's dumbbell, runs a protected multicast session for 30
-// simulated seconds, and prints what the receiver achieved and what the
-// SIGMA edge router saw. Start here to learn the public API:
+// Builds the paper's dumbbell via the scenario API, runs a protected
+// multicast session for 30 simulated seconds, and prints what the receiver
+// achieved and what the SIGMA edge router saw. Start here to learn the
+// public API:
 //
-//   exp::dumbbell        - topology + routing + edge agents (IGMP, SIGMA)
-//   add_flid_session     - sender + DELTA + SIGMA control plane + receivers
-//   flid_receiver        - per-slot congestion bookkeeping + strategy
-//   sigma_router_agent   - key-based group access control at the edge
+//   sim::topology_builder - named routers + duplex links (dumbbell,
+//                           parking_lot, star, balanced_tree factories)
+//   exp::testbed          - attaches sessions/flows to topology routers and
+//                           owns the per-router edge agents (IGMP, SIGMA)
+//   exp::dumbbell(cfg)    - the paper's scenario as a testbed_config
+//   add_flid_session      - sender + DELTA + SIGMA control plane + receivers
+//   flid_receiver         - per-slot congestion bookkeeping + strategy
+//   sigma_router_agent    - key-based group access control at the edge
 #include <cstdio>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 using namespace mcc;
 
@@ -19,7 +24,7 @@ int main() {
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 1e6;
   cfg.seed = 42;
-  exp::dumbbell net(cfg);
+  exp::testbed net(exp::dumbbell(cfg));
 
   // One FLID-DS session (FLID-DL + DELTA + SIGMA) with a single honest
   // receiver. The session has 10 groups: 100 Kbps base layer, cumulative

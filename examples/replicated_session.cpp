@@ -10,7 +10,7 @@
 #include <set>
 
 #include "core/delta_replicated.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "flid/replicated.h"
 #include "mcast/igmp.h"
 
@@ -21,7 +21,7 @@ int main() {
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 400e3;
   cfg.seed = 99;
-  exp::dumbbell net(cfg);
+  exp::testbed net(exp::dumbbell(cfg));
 
   flid::flid_config fc;
   fc.session_id = 601;
@@ -31,15 +31,12 @@ int main() {
   fc.rate_multiplier = 1.4;
   fc.slot_duration = sim::milliseconds(500);
 
-  const sim::node_id src = net.net().add_host("rep_src");
-  sim::link_config ac;
-  net.net().connect(src, net.left_router(), ac);
+  const sim::node_id src = net.attach_host("rep_src", "l");
   flid::replicated_sender sender(net.net(), src, fc, cfg.seed);
   sender.start(0);
 
-  const sim::node_id dst = net.net().add_host("rep_rcv");
-  net.net().connect(net.right_router(), dst, ac);
-  flid::replicated_receiver receiver(net.net(), dst, net.right_router(), fc);
+  const sim::node_id dst = net.attach_host("rep_rcv", "r");
+  flid::replicated_receiver receiver(net.net(), dst, net.router("r"), fc);
   receiver.start(0);
 
   net.run_until(sim::seconds(60.0));

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/flid_ds.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 using namespace mcc;
 
@@ -19,7 +19,7 @@ int main() {
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 50e6;  // wide core: access links are the bottlenecks
   cfg.seed = 2026;
-  exp::dumbbell net(cfg);
+  exp::testbed net(exp::dumbbell(cfg));
 
   // Build the audience: five access-bandwidth classes, four receivers each.
   // We hand-build hosts so every receiver can have its own access rate.
@@ -38,13 +38,8 @@ int main() {
   fc.session_id = 501;
   fc.group_addr_base = 50'000;
 
-  const sim::node_id studio = net.net().add_host("studio");
-  {
-    sim::link_config ac;
-    ac.bps = 100e6;
-    ac.delay = sim::milliseconds(5);
-    net.net().connect(studio, net.left_router(), ac);
-  }
+  const sim::node_id studio =
+      net.attach_host("studio", "l", 100e6, sim::milliseconds(5));
   flid::flid_sender sender(net.net(), studio, fc, cfg.seed);
   auto ds = core::make_flid_ds_sender(net.net(), studio, sender, cfg.seed + 1);
   sender.start(0);
@@ -55,18 +50,15 @@ int main() {
       viewer v;
       v.name = cls + "-" + std::to_string(i);
       v.access_bps = bps;
-      v.host = net.net().add_host(v.name);
-      sim::link_config ac;
-      ac.bps = bps;
-      ac.delay = sim::milliseconds(10 + 3 * (idx % 5));
-      net.net().connect(net.right_router(), v.host, ac);
+      v.host = net.attach_host(v.name, "r", bps,
+                               sim::milliseconds(10 + 3 * (idx % 5)));
       audience.push_back(std::move(v));
       ++idx;
     }
   }
   for (auto& v : audience) {
     v.receiver = std::make_unique<flid::flid_receiver>(
-        net.net(), v.host, net.right_router(), fc,
+        net.net(), v.host, net.router("r"), fc,
         std::make_unique<core::honest_sigma_strategy>());
     v.receiver->start(sim::milliseconds(200 * (&v - audience.data())));
   }

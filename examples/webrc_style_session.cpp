@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "core/tlm.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 using namespace mcc;
 
@@ -26,7 +26,7 @@ int main() {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = bottleneck;
     cfg.seed = 11;
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
     auto& s = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
     d.run_until(sim::seconds(120.0));
     flid_kbps = s.receiver().monitor().average_kbps(sim::seconds(60.0),
@@ -42,26 +42,23 @@ int main() {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = bottleneck;
     cfg.seed = 11;
-    exp::dumbbell d(cfg);
+    exp::testbed d(exp::dumbbell(cfg));
     flid::flid_config fc = d.default_flid_config(exp::flid_mode::ds);
     fc.session_id = 71;
     fc.group_addr_base = 71'000;
     const auto thresholds =
         core::threshold_config::uniform(fc.num_groups, 0.25, fc.key_bits);
 
-    const auto src = d.net().add_host("tlm_src");
-    sim::link_config ac;
-    d.net().connect(src, d.left_router(), ac);
+    const auto src = d.attach_host("tlm_src", "l");
     flid::flid_sender sender(d.net(), src, fc, cfg.seed);
     auto bundle = core::make_tlm_sender(d.net(), src, sender, thresholds,
                                         cfg.seed + 1);
     sender.start(0);
 
-    const auto dst = d.net().add_host("tlm_rcv");
-    d.net().connect(d.right_router(), dst, ac);
+    const auto dst = d.attach_host("tlm_rcv", "r");
     auto strategy = std::make_unique<core::tlm_sigma_strategy>(thresholds);
     strategy_raw = strategy.get();
-    flid::flid_receiver receiver(d.net(), dst, d.right_router(), fc,
+    flid::flid_receiver receiver(d.net(), dst, d.router("r"), fc,
                                  std::move(strategy));
     receiver.start(0);
     d.run_until(sim::seconds(120.0));

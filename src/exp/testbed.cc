@@ -1,0 +1,314 @@
+#include "exp/testbed.h"
+
+#include "crypto/prng.h"
+
+namespace mcc::exp {
+
+namespace {
+std::int64_t queue_bytes(double bps, double bdp, sim::time_ns rtt) {
+  return static_cast<std::int64_t>(bdp * bps * sim::to_seconds(rtt) / 8.0);
+}
+}  // namespace
+
+testbed::testbed(testbed_config cfg)
+    : cfg_(std::move(cfg)), net_(sched_), seed_state_(cfg_.seed) {
+  util::require(!cfg_.topology.empty(), "testbed: empty topology");
+  topo_ = cfg_.topology.build(net_);
+  util::require(!topo_.routers().empty(), "testbed: topology has no routers");
+  if (cfg_.sender_site.empty()) cfg_.sender_site = topo_.routers().front();
+  if (cfg_.receiver_site.empty()) cfg_.receiver_site = topo_.routers().back();
+}
+
+std::uint64_t testbed::next_seed() { return crypto::splitmix64(seed_state_); }
+
+testbed::edge_agents& testbed::edge_for(const std::string& site) {
+  auto it = edges_.find(site);
+  if (it != edges_.end()) return it->second;
+  // Any router becomes an edge the first time a host attaches there (or the
+  // first time its agents are asked for): it gets an IGMP agent (group
+  // membership) and a SIGMA agent (key-based access control). Interior
+  // routers without hosts never pay for control-plane decoding.
+  const sim::node_id id = topo_.node(site);
+  util::require(net_.get(id)->is_router(), "testbed: edge site is not a router",
+                site);
+  edge_agents agents;
+  agents.igmp = std::make_unique<mcast::igmp_agent>(net_, id);
+  agents.sigma =
+      std::make_unique<core::sigma_router_agent>(net_, id, *agents.igmp);
+  return edges_.emplace(site, std::move(agents)).first->second;
+}
+
+testbed::edge_agents& testbed::existing_edge_or_new(const std::string& name) {
+  const std::string& site = site_or(name, cfg_.receiver_site);
+  if (finalized_) {
+    // After the run, only routers that actually were edges have agents;
+    // creating a fresh zero-counter agent here would make post-run stats
+    // assertions vacuously pass.
+    auto it = edges_.find(site);
+    util::require(it != edges_.end(),
+                  "testbed: router was never an edge (no host attached)", site);
+    return it->second;
+  }
+  return edge_for(site);
+}
+
+mcast::igmp_agent& testbed::igmp(const std::string& name) {
+  return *existing_edge_or_new(name).igmp;
+}
+
+core::sigma_router_agent& testbed::sigma(const std::string& name) {
+  return *existing_edge_or_new(name).sigma;
+}
+
+sim::node_id testbed::attach_host(const std::string& name,
+                                  const std::string& router_name) {
+  return attach_host(name, router_name, cfg_.access_bps, cfg_.access_delay);
+}
+
+sim::node_id testbed::attach_host(const std::string& name,
+                                  const std::string& router_name, double bps,
+                                  sim::time_ns delay) {
+  util::require(!finalized_, "testbed: cannot attach hosts after run");
+  util::require(!router_name.empty(), "testbed::attach_host: empty router name",
+                name);
+  util::require(delay >= 0, "testbed::attach_host: negative access delay",
+                delay);
+  const sim::node_id r = topo_.node(router_name);
+  util::require(net_.get(r)->is_router(),
+                "testbed::attach_host: attachment point is not a router",
+                router_name);
+  // Attaching makes the router an edge: ensure its IGMP/SIGMA agents exist
+  // before any traffic can reach it.
+  (void)edge_for(router_name);
+  const sim::node_id h = net_.add_host(name);
+  sim::link_config ac;
+  ac.bps = bps;
+  ac.delay = delay;
+  ac.queue_capacity_bytes = queue_bytes(bps, cfg_.buffer_bdp, cfg_.base_rtt);
+  net_.connect(h, r, ac);
+  return h;
+}
+
+flid::flid_config testbed::default_flid_config(flid_mode mode) const {
+  flid::flid_config cfg;
+  cfg.num_groups = 10;
+  cfg.base_rate_bps = 100e3;
+  cfg.rate_multiplier = 1.5;
+  cfg.packet_bytes = 576;
+  cfg.key_bits = 16;
+  if (mode == flid_mode::dl) {
+    cfg.slot_duration = sim::milliseconds(500);
+    cfg.upgrade_prob = 0.3;
+  } else {
+    // Paper section 5.1: 250 ms slots so SIGMA's two-slot enforcement matches
+    // FLID-DL's control granularity; halve the per-slot upgrade probability
+    // so upgrade signals arrive at the same real-time frequency.
+    cfg.slot_duration = sim::milliseconds(250);
+    cfg.upgrade_prob = 0.15;
+  }
+  return cfg;
+}
+
+flid_session& testbed::add_flid_session(
+    flid_mode mode, const std::vector<receiver_options>& receivers,
+    const session_options& opts) {
+  return add_flid_session(mode, default_flid_config(mode), receivers, opts);
+}
+
+flid_session& testbed::add_flid_session(
+    flid_mode mode, flid::flid_config cfg,
+    const std::vector<receiver_options>& receivers,
+    const session_options& opts) {
+  util::require(!finalized_, "testbed: cannot add sessions after run");
+  // Validate every placement up front: once the sender is attached and
+  // started it has scheduled events, so a mid-loop failure would leave a
+  // half-built session behind for callers that catch the error.
+  const std::string& sender_site = site_or(opts.sender_at, cfg_.sender_site);
+  validate_attach_site(sender_site);
+  for (const receiver_options& opt : receivers) {
+    const std::string& site = site_or(opt.at, cfg_.receiver_site);
+    validate_attach_site(site);
+    util::require(opt.access_delay.value_or(0) >= 0,
+                  "testbed: negative receiver access delay", site);
+  }
+  const int sid = next_session_id_++;
+  cfg.session_id = sid;
+  cfg.group_addr_base = 10'000 + sid * 100;
+
+  auto session = std::make_unique<flid_session>();
+  session->mode = mode;
+  session->config = cfg;
+
+  session->sender_host =
+      attach_host("mc_src_" + std::to_string(sid), sender_site);
+  session->sender = std::make_unique<flid::flid_sender>(
+      net_, session->sender_host, cfg, next_seed());
+  if (mode == flid_mode::ds) {
+    session->ds = core::make_flid_ds_sender(net_, session->sender_host,
+                                            *session->sender, next_seed());
+  }
+  session->sender->start(opts.sender_start);
+
+  int ridx = 0;
+  for (const receiver_options& opt : receivers) {
+    const std::string& site = site_or(opt.at, cfg_.receiver_site);
+    const sim::node_id rh = attach_host(
+        "mc_rcv_" + std::to_string(sid) + "_" + std::to_string(ridx++), site,
+        cfg_.access_bps, opt.access_delay.value_or(cfg_.access_delay));
+    std::unique_ptr<flid::subscription_strategy> strategy;
+    if (mode == flid_mode::dl) {
+      if (opt.inflate) {
+        strategy = std::make_unique<flid::inflating_plain_strategy>(
+            opt.inflate_at, opt.inflate_level);
+      } else {
+        strategy = std::make_unique<flid::honest_plain_strategy>();
+      }
+    } else {
+      if (opt.inflate) {
+        strategy = std::make_unique<core::misbehaving_sigma_strategy>(
+            opt.inflate_at, opt.attack_keys, next_seed());
+      } else {
+        strategy = std::make_unique<core::honest_sigma_strategy>();
+      }
+    }
+    auto receiver = std::make_unique<flid::flid_receiver>(
+        net_, rh, topo_.node(site), cfg, std::move(strategy));
+    receiver->start(opt.start_time);
+    session->receivers.push_back(std::move(receiver));
+  }
+
+  sessions_.push_back(std::move(session));
+  return *sessions_.back();
+}
+
+tcp_flow& testbed::add_tcp_flow(sim::time_ns start_time) {
+  flow_options opts;
+  opts.start_time = start_time;
+  return add_tcp_flow(opts);
+}
+
+void testbed::validate_attach_site(const std::string& site) const {
+  util::require(net_.get(topo_.node(site))->is_router(),
+                "testbed: attachment site is not a router", site);
+}
+
+tcp_flow& testbed::add_tcp_flow(const flow_options& opts) {
+  util::require(!finalized_, "testbed: cannot add flows after run");
+  validate_attach_site(site_or(opts.src_at, cfg_.sender_site));
+  validate_attach_site(site_or(opts.dst_at, cfg_.receiver_site));
+  const int fid = next_flow_id_++;
+  const sim::node_id src = attach_host("tcp_src_" + std::to_string(fid),
+                                       site_or(opts.src_at, cfg_.sender_site));
+  const sim::node_id dst =
+      attach_host("tcp_dst_" + std::to_string(fid),
+                  site_or(opts.dst_at, cfg_.receiver_site));
+  auto flow = std::make_unique<tcp_flow>();
+  tcp::tcp_config cfg;
+  cfg.flow_id = fid;
+  cfg.segment_bytes = 576;
+  cfg.start_time = opts.start_time;
+  flow->sink = std::make_unique<tcp::tcp_sink>(net_, dst, fid, 40);
+  flow->sender = std::make_unique<tcp::tcp_sender>(net_, src, dst, cfg);
+  tcp_flows_.push_back(std::move(flow));
+  return *tcp_flows_.back();
+}
+
+cbr_flow& testbed::add_cbr(const traffic::cbr_config& cfg_in,
+                           const flow_options& opts) {
+  util::require(!finalized_, "testbed: cannot add flows after run");
+  validate_attach_site(site_or(opts.src_at, cfg_.sender_site));
+  validate_attach_site(site_or(opts.dst_at, cfg_.receiver_site));
+  traffic::cbr_config cfg = cfg_in;
+  cfg.flow_id = next_flow_id_++;
+  const sim::node_id src =
+      attach_host("cbr_src_" + std::to_string(cfg.flow_id),
+                  site_or(opts.src_at, cfg_.sender_site));
+  const sim::node_id dst =
+      attach_host("cbr_dst_" + std::to_string(cfg.flow_id),
+                  site_or(opts.dst_at, cfg_.receiver_site));
+  auto flow = std::make_unique<cbr_flow>();
+  flow->sink = std::make_unique<traffic::cbr_sink>(net_, dst, cfg.flow_id);
+  flow->source = std::make_unique<traffic::cbr_source>(net_, src, dst, cfg);
+  cbr_flows_.push_back(std::move(flow));
+  return *cbr_flows_.back();
+}
+
+void testbed::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  net_.finalize_routing();
+}
+
+void testbed::run_until(sim::time_ns until) {
+  finalize();
+  sched_.run_until(until);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario factories
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Backbone link sized like every factory sizes links: queue of
+/// buffer_bdp bandwidth-delay products at the scenario base RTT.
+template <typename Cfg>
+sim::link_config backbone_link(double bps, sim::time_ns delay,
+                               const Cfg& cfg) {
+  sim::link_config l;
+  l.bps = bps;
+  l.delay = delay;
+  l.queue_capacity_bytes = queue_bytes(bps, cfg.buffer_bdp, cfg.base_rtt);
+  return l;
+}
+
+/// Assembles a testbed_config from a topology, the attachment sites, and the
+/// shared attachment-default fields every scenario config carries.
+template <typename Cfg>
+testbed_config scenario(sim::topology_builder topo, std::string sender_site,
+                        std::string receiver_site, const Cfg& cfg) {
+  testbed_config out;
+  out.topology = std::move(topo);
+  out.sender_site = std::move(sender_site);
+  out.receiver_site = std::move(receiver_site);
+  out.access_bps = cfg.access_bps;
+  out.access_delay = cfg.access_delay;
+  out.buffer_bdp = cfg.buffer_bdp;
+  out.base_rtt = cfg.base_rtt;
+  out.seed = cfg.seed;
+  return out;
+}
+
+}  // namespace
+
+testbed_config dumbbell(const dumbbell_config& cfg) {
+  const auto bn = backbone_link(cfg.bottleneck_bps, cfg.bottleneck_delay, cfg);
+  return scenario(sim::dumbbell(bn), "l", "r", cfg);
+}
+
+testbed_config parking_lot(const parking_lot_config& cfg) {
+  const auto bn = backbone_link(cfg.bottleneck_bps, cfg.bottleneck_delay, cfg);
+  return scenario(sim::parking_lot(cfg.bottlenecks, bn), "r0",
+                  "r" + std::to_string(cfg.bottlenecks), cfg);
+}
+
+testbed_config star(const star_config& cfg) {
+  const auto spoke_link = backbone_link(cfg.spoke_bps, cfg.spoke_delay, cfg);
+  return scenario(sim::star(cfg.spokes, spoke_link), "hub", "s1", cfg);
+}
+
+testbed_config balanced_tree(const tree_config& cfg) {
+  const auto edge = backbone_link(cfg.edge_bps, cfg.edge_delay, cfg);
+  return scenario(sim::balanced_tree(cfg.depth, cfg.fanout, edge), "root",
+                  "t" + std::to_string(cfg.depth) + "_0", cfg);
+}
+
+double average_receiver_kbps(flid_session& session, sim::time_ns t0,
+                             sim::time_ns t1) {
+  if (session.receivers.empty()) return 0.0;
+  double sum = 0.0;
+  for (auto& r : session.receivers) sum += r->monitor().average_kbps(t0, t1);
+  return sum / static_cast<double>(session.receivers.size());
+}
+
+}  // namespace mcc::exp

@@ -1,0 +1,278 @@
+// Experiment testbed: attaches FLID-DL / FLID-DS sessions, TCP Reno flows,
+// and on-off CBR cross traffic to any routers of a declaratively built
+// topology (sim::topology_builder), owning the per-edge-router agents (IGMP
+// and SIGMA), deterministic seeding, and the finalize-then-run lifecycle.
+//
+// Topology, attachment, and measurement are independent layers:
+//
+//   exp::testbed t(exp::dumbbell());              // or parking_lot(), ...
+//   auto& s = t.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+//   t.add_tcp_flow();
+//   t.run_until(sim::seconds(120.0));
+//   s.receiver().monitor().average_kbps(...);
+//
+// Every router carries an IGMP agent and a SIGMA agent, so any router can be
+// an edge: receiver_options::at / flow endpoints name the router a host
+// attaches to, and default to the testbed's configured sender/receiver sites.
+#ifndef MCC_EXP_TESTBED_H
+#define MCC_EXP_TESTBED_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flid_ds.h"
+#include "core/sigma_router.h"
+#include "flid/flid_receiver.h"
+#include "flid/flid_sender.h"
+#include "sim/network.h"
+#include "sim/topology.h"
+#include "tcp/tcp.h"
+#include "traffic/cbr.h"
+
+namespace mcc::exp {
+
+enum class flid_mode { dl, ds };
+
+/// Per-receiver placement and (mis)behaviour.
+struct receiver_options {
+  sim::time_ns start_time = 0;
+  /// Access-link propagation delay; unset = the testbed default. A negative
+  /// value is rejected loudly (it used to be a silent "use default" sentinel).
+  std::optional<sim::time_ns> access_delay;
+  /// Edge router the receiver attaches to; empty = default receiver site.
+  std::string at;
+  bool inflate = false;  // launch the inflated-subscription attack
+  sim::time_ns inflate_at = 0;
+  /// Level the attacker inflates to in DL mode (<= 0: all groups).
+  int inflate_level = 0;
+  core::misbehaving_sigma_strategy::key_mode attack_keys =
+      core::misbehaving_sigma_strategy::key_mode::guess;
+};
+
+/// Per-session placement.
+struct session_options {
+  sim::time_ns sender_start = 0;
+  /// Router the sender host attaches to; empty = default sender site.
+  std::string sender_at;
+};
+
+/// Unicast flow placement (TCP and CBR).
+struct flow_options {
+  sim::time_ns start_time = 0;       // TCP only; CBR carries its own times
+  std::string src_at;                // empty = default sender site
+  std::string dst_at;                // empty = default receiver site
+};
+
+/// Everything a testbed needs to know: the topology description plus the
+/// attachment defaults shared by all hosts.
+struct testbed_config {
+  sim::topology_builder topology;
+  /// Default attachment routers; empty = first / last declared router.
+  std::string sender_site;
+  std::string receiver_site;
+  double access_bps = 10e6;
+  sim::time_ns access_delay = sim::milliseconds(10);
+  /// Queue capacity of access links in bandwidth-delay products
+  /// (link rate x base_rtt).
+  double buffer_bdp = 2.0;
+  sim::time_ns base_rtt = sim::milliseconds(80);
+  std::uint64_t seed = 1;
+};
+
+/// One multicast session: sender machinery plus its receivers.
+struct flid_session {
+  flid_mode mode = flid_mode::dl;
+  flid::flid_config config;
+  sim::node_id sender_host = sim::invalid_node;
+  std::unique_ptr<flid::flid_sender> sender;
+  core::flid_ds_sender ds;  // populated in DS mode
+  std::vector<std::unique_ptr<flid::flid_receiver>> receivers;
+
+  [[nodiscard]] flid::flid_receiver& receiver(int i = 0) {
+    return *receivers[static_cast<std::size_t>(i)];
+  }
+};
+
+struct tcp_flow {
+  std::unique_ptr<tcp::tcp_sender> sender;
+  std::unique_ptr<tcp::tcp_sink> sink;
+};
+
+struct cbr_flow {
+  std::unique_ptr<traffic::cbr_source> source;
+  std::unique_ptr<traffic::cbr_sink> sink;
+};
+
+class testbed {
+ public:
+  explicit testbed(testbed_config cfg);
+
+  [[nodiscard]] sim::network& net() { return net_; }
+  [[nodiscard]] sim::scheduler& sched() { return sched_; }
+  [[nodiscard]] const sim::topology& topo() const { return topo_; }
+  [[nodiscard]] const testbed_config& config() const { return cfg_; }
+
+  /// Node id of a named topology router (or host).
+  [[nodiscard]] sim::node_id router(const std::string& name) const {
+    return topo_.node(name);
+  }
+  /// i-th backbone link (dumbbell: the bottleneck; parking lot: bottleneck i).
+  [[nodiscard]] sim::link* bottleneck(int i = 0) const {
+    return topo_.backbone(i);
+  }
+
+  /// Edge agents of a named router; empty name = the default receiver site.
+  /// Created on demand: a router gets its agents when a host first attaches
+  /// there (or on first access here), so interior routers stay agent-free.
+  [[nodiscard]] mcast::igmp_agent& igmp(const std::string& name = "");
+  [[nodiscard]] core::sigma_router_agent& sigma(const std::string& name = "");
+
+  /// Paper section 5.1 defaults for a session in the given mode: 10 groups,
+  /// 100 Kbps minimal group, cumulative rate factor 1.5, 576-byte packets,
+  /// 16-bit keys; 500 ms slots (upgrade prob 0.3) in DL mode, 250 ms slots
+  /// (upgrade prob 0.15, so upgrade signals arrive at the same real-time
+  /// frequency) in DS mode.
+  [[nodiscard]] flid::flid_config default_flid_config(flid_mode mode) const;
+
+  /// Attaches a fresh host to the named router (required non-empty) over an
+  /// access link with the testbed's default rate/delay/queue (overridable per
+  /// host), creating the router's edge agents if this is its first host.
+  sim::node_id attach_host(const std::string& name,
+                           const std::string& router_name);
+  sim::node_id attach_host(const std::string& name,
+                           const std::string& router_name, double bps,
+                           sim::time_ns delay);
+
+  /// Adds a multicast session with one receiver per entry of `receivers`.
+  flid_session& add_flid_session(flid_mode mode,
+                                 const std::vector<receiver_options>& receivers,
+                                 const session_options& opts = {});
+  /// Same, with an explicit config (session id / group range reassigned).
+  flid_session& add_flid_session(flid_mode mode, flid::flid_config cfg,
+                                 const std::vector<receiver_options>& receivers,
+                                 const session_options& opts = {});
+
+  tcp_flow& add_tcp_flow(const flow_options& opts = {});
+  tcp_flow& add_tcp_flow(sim::time_ns start_time);
+  cbr_flow& add_cbr(const traffic::cbr_config& cfg,
+                    const flow_options& opts = {});
+
+  /// Finalizes routing on first call and runs the simulation to `until`.
+  void run_until(sim::time_ns until);
+
+  [[nodiscard]] int next_session_id() const { return next_session_id_; }
+
+ private:
+  struct edge_agents {
+    std::unique_ptr<mcast::igmp_agent> igmp;
+    std::unique_ptr<core::sigma_router_agent> sigma;
+  };
+
+  [[nodiscard]] std::uint64_t next_seed();
+  /// The edge-agent pair of a router, created on first use (a router becomes
+  /// an edge when a host attaches or its agents are requested pre-run).
+  edge_agents& edge_for(const std::string& site);
+  /// Accessor path: before the run resolves like edge_for; after the run
+  /// only existing edges resolve (no zero-counter agents for assertions).
+  edge_agents& existing_edge_or_new(const std::string& name);
+  /// Requires `site` to name a router of the topology.
+  void validate_attach_site(const std::string& site) const;
+  [[nodiscard]] const std::string& site_or(const std::string& site,
+                                           const std::string& fallback) const {
+    return site.empty() ? fallback : site;
+  }
+  void finalize();
+
+  testbed_config cfg_;
+  sim::scheduler sched_;
+  sim::network net_;
+  sim::topology topo_;
+  std::map<std::string, edge_agents> edges_;
+  std::vector<std::unique_ptr<flid_session>> sessions_;
+  std::vector<std::unique_ptr<tcp_flow>> tcp_flows_;
+  std::vector<std::unique_ptr<cbr_flow>> cbr_flows_;
+  int next_session_id_ = 1;
+  int next_flow_id_ = 1;
+  std::uint64_t seed_state_;
+  bool finalized_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario factories: named topologies with paper-style attachment defaults
+// ---------------------------------------------------------------------------
+
+/// The single-bottleneck topology of paper section 5.1. Defaults follow the
+/// paper: 1 Mbps / 20 ms bottleneck, 10 Mbps / 10 ms access links, queues of
+/// two bandwidth-delay products at an 80 ms base RTT.
+struct dumbbell_config {
+  double bottleneck_bps = 1e6;
+  sim::time_ns bottleneck_delay = sim::milliseconds(20);
+  double access_bps = 10e6;
+  sim::time_ns access_delay = sim::milliseconds(10);
+  double buffer_bdp = 2.0;
+  sim::time_ns base_rtt = sim::milliseconds(80);
+  std::uint64_t seed = 1;
+};
+
+/// Dumbbell testbed: senders attach at "l", receivers at "r".
+[[nodiscard]] testbed_config dumbbell(const dumbbell_config& cfg = {});
+
+/// k bottlenecks in series (routers "r0".."r<k>"); senders default to "r0",
+/// receivers to the far end "r<k>", so a default session crosses every
+/// bottleneck while cross traffic can load any single one.
+struct parking_lot_config {
+  int bottlenecks = 2;
+  double bottleneck_bps = 1e6;
+  sim::time_ns bottleneck_delay = sim::milliseconds(20);
+  double access_bps = 10e6;
+  sim::time_ns access_delay = sim::milliseconds(10);
+  double buffer_bdp = 2.0;
+  sim::time_ns base_rtt = sim::milliseconds(80);
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] testbed_config parking_lot(const parking_lot_config& cfg = {});
+
+/// Hub-and-spoke: senders default to the hub, receivers to spoke "s1";
+/// receivers placed on distinct spokes contend only on their own spoke link.
+struct star_config {
+  int spokes = 4;
+  double spoke_bps = 1e6;
+  sim::time_ns spoke_delay = sim::milliseconds(20);
+  double access_bps = 10e6;
+  sim::time_ns access_delay = sim::milliseconds(10);
+  double buffer_bdp = 2.0;
+  sim::time_ns base_rtt = sim::milliseconds(80);
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] testbed_config star(const star_config& cfg = {});
+
+/// Balanced distribution tree: senders default to "root", receivers to the
+/// first leaf "t<depth>_0"; point-to-multipoint sessions fan out down the
+/// tree and each receiver sees only its own root-to-leaf path.
+struct tree_config {
+  int depth = 2;
+  int fanout = 2;
+  double edge_bps = 1e6;
+  sim::time_ns edge_delay = sim::milliseconds(10);
+  double access_bps = 10e6;
+  sim::time_ns access_delay = sim::milliseconds(10);
+  double buffer_bdp = 2.0;
+  sim::time_ns base_rtt = sim::milliseconds(80);
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] testbed_config balanced_tree(const tree_config& cfg = {});
+
+/// Average of receiver throughputs over [t0, t1) in Kbps.
+[[nodiscard]] double average_receiver_kbps(flid_session& session,
+                                           sim::time_ns t0, sim::time_ns t1);
+
+}  // namespace mcc::exp
+
+#endif  // MCC_EXP_TESTBED_H

@@ -1,0 +1,127 @@
+#include "sim/topology.h"
+
+namespace mcc::sim {
+
+node_id topology::node(const std::string& name) const {
+  auto it = ids_.find(name);
+  util::require(it != ids_.end(), "topology::node: unknown name", name);
+  return it->second;
+}
+
+link* topology::between(const std::string& from, const std::string& to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : it->second;
+}
+
+link* topology::backbone(int i) const {
+  util::require(i >= 0 && i < backbone_count(), "topology::backbone: bad index",
+                i);
+  return backbone_[static_cast<std::size_t>(i)];
+}
+
+topology_builder& topology_builder::add_node(std::string name, bool is_router) {
+  nodes_.push_back(node_decl{std::move(name), is_router});
+  return *this;
+}
+
+topology_builder& topology_builder::router(std::string name) {
+  return add_node(std::move(name), /*is_router=*/true);
+}
+
+topology_builder& topology_builder::host(std::string name) {
+  return add_node(std::move(name), /*is_router=*/false);
+}
+
+topology_builder& topology_builder::duplex(std::string a, std::string b,
+                                           const link_config& cfg) {
+  return duplex(std::move(a), std::move(b), cfg, cfg);
+}
+
+topology_builder& topology_builder::duplex(std::string a, std::string b,
+                                           const link_config& ab,
+                                           const link_config& ba) {
+  links_.push_back(link_decl{std::move(a), std::move(b), ab, ba});
+  return *this;
+}
+
+topology topology_builder::build(network& net) const {
+  util::require(!nodes_.empty(), "topology_builder: no nodes declared");
+  topology t;
+  for (const node_decl& n : nodes_) {
+    util::require(!t.ids_.contains(n.name),
+                  "topology_builder: duplicate node name", n.name);
+    const node_id id =
+        n.is_router ? net.add_router(n.name) : net.add_host(n.name);
+    t.ids_[n.name] = id;
+    if (n.is_router) t.routers_.push_back(n.name);
+  }
+  for (const link_decl& l : links_) {
+    util::require(t.ids_.contains(l.a), "topology_builder: undeclared endpoint",
+                  l.a);
+    util::require(t.ids_.contains(l.b), "topology_builder: undeclared endpoint",
+                  l.b);
+    util::require(l.a != l.b, "topology_builder: self-loop link", l.a);
+    std::string pair = l.a;
+    pair.append("-").append(l.b);
+    util::require(!t.links_.contains({l.a, l.b}),
+                  "topology_builder: duplicate link", pair);
+    auto [fwd, rev] = net.connect(t.ids_[l.a], t.ids_[l.b], l.ab, l.ba);
+    t.links_[{l.a, l.b}] = fwd;
+    t.links_[{l.b, l.a}] = rev;
+    t.backbone_.push_back(fwd);
+  }
+  return t;
+}
+
+topology_builder dumbbell(const link_config& bottleneck) {
+  topology_builder b;
+  b.router("l").router("r").duplex("l", "r", bottleneck);
+  return b;
+}
+
+topology_builder parking_lot(int bottlenecks, const link_config& bottleneck) {
+  util::require(bottlenecks >= 1, "parking_lot: need at least one bottleneck",
+                bottlenecks);
+  topology_builder b;
+  for (int i = 0; i <= bottlenecks; ++i) b.router("r" + std::to_string(i));
+  for (int i = 0; i < bottlenecks; ++i) {
+    b.duplex("r" + std::to_string(i), "r" + std::to_string(i + 1), bottleneck);
+  }
+  return b;
+}
+
+topology_builder star(int spokes, const link_config& spoke) {
+  util::require(spokes >= 1, "star: need at least one spoke", spokes);
+  topology_builder b;
+  b.router("hub");
+  for (int i = 1; i <= spokes; ++i) {
+    const std::string name = "s" + std::to_string(i);
+    b.router(name);
+    b.duplex("hub", name, spoke);
+  }
+  return b;
+}
+
+topology_builder balanced_tree(int depth, int fanout, const link_config& edge) {
+  util::require(depth >= 1, "balanced_tree: need depth >= 1", depth);
+  util::require(fanout >= 2, "balanced_tree: need fanout >= 2", fanout);
+  topology_builder b;
+  b.router("root");
+  // Level d has fanout^d routers "t<d>_<i>"; node i's parent is node i/fanout
+  // one level up ("root" at level 0).
+  std::vector<std::string> parents = {"root"};
+  for (int d = 1; d <= depth; ++d) {
+    std::vector<std::string> level;
+    for (int i = 0; i < static_cast<int>(parents.size()) * fanout; ++i) {
+      const std::string name =
+          "t" + std::to_string(d) + "_" + std::to_string(i);
+      b.router(name);
+      b.duplex(parents[static_cast<std::size_t>(i / fanout)], name, edge);
+      level.push_back(name);
+    }
+    parents = std::move(level);
+  }
+  return b;
+}
+
+}  // namespace mcc::sim

@@ -1,0 +1,128 @@
+// Declarative topology layer: describe a backbone of named routers (and
+// optionally hosts) joined by duplex links, then instantiate it into a
+// sim::network. Experiments attach endpoints to the named routers afterwards,
+// so topology, attachment, and measurement stay independent layers.
+//
+// Named factories cover the standard shapes of the multicast congestion
+// control literature:
+//   * dumbbell()        - the single-bottleneck setup of paper section 5.1;
+//   * parking_lot(k)    - k bottlenecks in series, the classic
+//                         multi-bottleneck fairness topology;
+//   * star(n)           - one hub with n spoke routers;
+//   * balanced_tree(d,f)- a distribution tree of depth d and fanout f, the
+//                         natural shape of a point-to-multipoint session.
+#ifndef MCC_SIM_TOPOLOGY_H
+#define MCC_SIM_TOPOLOGY_H
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace mcc::sim {
+
+/// A topology instantiated into a network: name -> node lookup plus the
+/// backbone links in declaration order.
+class topology {
+ public:
+  /// Node id for a declared name; throws on unknown names.
+  [[nodiscard]] node_id node(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const {
+    return ids_.contains(name);
+  }
+
+  /// The directed link from `from` to `to`, or nullptr if the pair was never
+  /// declared (either declaration order matches: a duplex link yields both).
+  [[nodiscard]] link* between(const std::string& from,
+                              const std::string& to) const;
+
+  /// Declared router names in declaration order.
+  [[nodiscard]] const std::vector<std::string>& routers() const {
+    return routers_;
+  }
+
+  /// Forward direction of the i-th declared duplex link. For the factories
+  /// this is the i-th backbone link: the dumbbell's bottleneck is
+  /// backbone(0); parking_lot(k)'s bottlenecks are backbone(0..k-1).
+  [[nodiscard]] link* backbone(int i = 0) const;
+  [[nodiscard]] int backbone_count() const {
+    return static_cast<int>(backbone_.size());
+  }
+
+ private:
+  friend class topology_builder;
+
+  std::map<std::string, node_id> ids_;
+  std::map<std::pair<std::string, std::string>, link*> links_;
+  std::vector<std::string> routers_;
+  std::vector<link*> backbone_;
+};
+
+/// Declarative builder: records named nodes and duplex links, then build()
+/// instantiates them into a network (in declaration order, so identical
+/// declarations produce identical node ids and deterministic simulations).
+class topology_builder {
+ public:
+  topology_builder& router(std::string name);
+  topology_builder& host(std::string name);
+
+  /// Declares a duplex link (two unidirectional links sharing `cfg`).
+  topology_builder& duplex(std::string a, std::string b,
+                           const link_config& cfg);
+  /// Declares a duplex link with asymmetric configs (a->b uses `ab`).
+  topology_builder& duplex(std::string a, std::string b, const link_config& ab,
+                           const link_config& ba);
+
+  /// Instantiates the description into `net`. Validates that names are
+  /// unique and that every link endpoint was declared.
+  [[nodiscard]] topology build(network& net) const;
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+ private:
+  struct node_decl {
+    std::string name;
+    bool is_router;
+  };
+  struct link_decl {
+    std::string a;
+    std::string b;
+    link_config ab;
+    link_config ba;
+  };
+
+  topology_builder& add_node(std::string name, bool is_router);
+
+  std::vector<node_decl> nodes_;
+  std::vector<link_decl> links_;
+};
+
+// ---------------------------------------------------------------------------
+// Named topology factories
+// ---------------------------------------------------------------------------
+
+/// Routers "l" and "r" joined by one bottleneck (paper section 5.1). Sender
+/// hosts conventionally attach at "l", receivers at "r".
+[[nodiscard]] topology_builder dumbbell(const link_config& bottleneck);
+
+/// Routers "r0" .. "r<k>" in a chain: k bottlenecks in series. A session
+/// from "r0" to "r<k>" crosses every bottleneck; cross traffic between
+/// adjacent routers loads exactly one.
+[[nodiscard]] topology_builder parking_lot(int bottlenecks,
+                                           const link_config& bottleneck);
+
+/// Router "hub" with spoke routers "s1" .. "s<n>", each behind its own
+/// hub-spoke link.
+[[nodiscard]] topology_builder star(int spokes, const link_config& spoke);
+
+/// Balanced distribution tree: root router "root"; depth-d routers named
+/// "t<d>_<i>" for i in [0, fanout^d). Leaves ("t<depth>_<i>") are the edge
+/// routers where receivers attach; the source conventionally sits at "root".
+[[nodiscard]] topology_builder balanced_tree(int depth, int fanout,
+                                             const link_config& edge);
+
+}  // namespace mcc::sim
+
+#endif  // MCC_SIM_TOPOLOGY_H

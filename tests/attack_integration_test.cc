@@ -5,7 +5,7 @@
 
 #include <array>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 #include "sim/stats.h"
 
 namespace mcc::exp {
@@ -24,7 +24,7 @@ attack_result run_attack(flid_mode mode, sim::time_ns horizon,
   dumbbell_config cfg;
   cfg.bottleneck_bps = 1e6;  // paper: 1 Mbps bottleneck, 4 sessions
   cfg.seed = 7;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   receiver_options attacker;
   attacker.inflate = true;
   attacker.inflate_at = inflate_at;
@@ -81,7 +81,7 @@ TEST(attack_integration, honest_world_is_fair_in_both_modes) {
   for (const flid_mode mode : {flid_mode::dl, flid_mode::ds}) {
     dumbbell_config cfg;
     cfg.bottleneck_bps = 1e6;
-    dumbbell d(cfg);
+    testbed d(dumbbell(cfg));
     auto& f1 = d.add_flid_session(mode, {receiver_options{}});
     auto& f2 = d.add_flid_session(mode, {receiver_options{}});
     auto& t1 = d.add_tcp_flow();

@@ -4,22 +4,23 @@
 // keys from them, and honest receivers treat marks as congestion.
 #include <gtest/gtest.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
 
 using exp::dumbbell;
+using exp::testbed;
 using exp::dumbbell_config;
 using exp::flid_mode;
 using exp::receiver_options;
 
 /// Dumbbell with an ECN-threshold bottleneck queue.
-std::unique_ptr<dumbbell> make_ecn_dumbbell(double bps, std::uint64_t seed) {
+std::unique_ptr<testbed> make_ecn_dumbbell(double bps, std::uint64_t seed) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = bps;
   cfg.seed = seed;
-  auto d = std::make_unique<dumbbell>(cfg);
+  auto d = std::make_unique<testbed>(dumbbell(cfg));
   // Rebuilding the link config is not exposed; instead we exercise the
   // marking path through a dedicated topology below. This helper keeps the
   // droptail default for comparison runs.

@@ -4,19 +4,20 @@
 
 #include <gtest/gtest.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
 
 using exp::dumbbell;
+using exp::testbed;
 using exp::dumbbell_config;
 using exp::flid_mode;
 using exp::receiver_options;
 
 TEST(flid_ds, sender_bundle_wires_hook_and_tagging) {
   dumbbell_config cfg;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   EXPECT_NE(session.ds.delta, nullptr);
   EXPECT_NE(session.ds.emitter, nullptr);
@@ -33,7 +34,7 @@ TEST(flid_ds, honest_receiver_matches_dl_throughput) {
   {
     dumbbell_config cfg;
     cfg.bottleneck_bps = 250e3;
-    dumbbell d(cfg);
+    testbed d(dumbbell(cfg));
     auto& s = d.add_flid_session(flid_mode::dl, {receiver_options{}});
     d.run_until(sim::seconds(200.0));
     dl_kbps = s.receiver().monitor().average_kbps(sim::seconds(50.0),
@@ -42,7 +43,7 @@ TEST(flid_ds, honest_receiver_matches_dl_throughput) {
   {
     dumbbell_config cfg;
     cfg.bottleneck_bps = 250e3;
-    dumbbell d(cfg);
+    testbed d(dumbbell(cfg));
     auto& s = d.add_flid_session(flid_mode::ds, {receiver_options{}});
     d.run_until(sim::seconds(200.0));
     ds_kbps = s.receiver().monitor().average_kbps(sim::seconds(50.0),
@@ -56,7 +57,7 @@ TEST(flid_ds, honest_receiver_matches_dl_throughput) {
 TEST(flid_ds, ds_overhead_stays_small) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& s = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(100.0));
   const auto& em = s.ds.emitter->stats();
@@ -73,7 +74,7 @@ TEST(flid_ds, ds_overhead_stays_small) {
 TEST(flid_ds, misbehaving_receiver_before_attack_behaves_honestly) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   receiver_options opt;
   opt.inflate = true;
   opt.inflate_at = sim::seconds(1e6);  // never triggers in this run
@@ -86,7 +87,7 @@ TEST(flid_ds, misbehaving_receiver_before_attack_behaves_honestly) {
 TEST(flid_ds, replay_attack_is_rejected) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3;  // congested: honest level ~3
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   receiver_options attacker;
   attacker.inflate = true;
   attacker.inflate_at = sim::seconds(30.0);
@@ -106,7 +107,7 @@ TEST(flid_ds, interface_keying_roundtrip_when_both_sides_enabled) {
   // the perturbed image — an honest receiver still works.
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   d.sigma().set_interface_keying(true);
   auto strategy = std::make_unique<honest_sigma_strategy>();
   strategy->set_interface_keying(true);
@@ -114,16 +115,13 @@ TEST(flid_ds, interface_keying_roundtrip_when_both_sides_enabled) {
   flid::flid_config fc = d.default_flid_config(flid_mode::ds);
   fc.session_id = 77;
   fc.group_addr_base = 30'000;
-  const auto sender_host = d.net().add_host("if_src");
-  sim::link_config ac;
-  d.net().connect(sender_host, d.left_router(), ac);
+  const auto sender_host = d.attach_host("if_src", "l");
   flid::flid_sender sender(d.net(), sender_host, fc, 42);
   auto ds = make_flid_ds_sender(d.net(), sender_host, sender, 43);
   sender.start(0);
 
-  const auto rcv_host = d.net().add_host("if_rcv");
-  d.net().connect(d.right_router(), rcv_host, ac);
-  flid::flid_receiver receiver(d.net(), rcv_host, d.right_router(), fc,
+  const auto rcv_host = d.attach_host("if_rcv", "r");
+  flid::flid_receiver receiver(d.net(), rcv_host, d.router("r"), fc,
                                std::move(strategy));
   receiver.start(0);
   d.run_until(sim::seconds(60.0));
@@ -137,7 +135,7 @@ TEST(flid_ds, interface_keying_blocks_unperturbed_keys) {
   // exactly what a colluder replaying another interface's keys experiences.
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   d.sigma().set_interface_keying(true);
   auto& s = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(30.0));

@@ -4,12 +4,13 @@
 
 #include <gtest/gtest.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::flid {
 namespace {
 
 using exp::dumbbell;
+using exp::testbed;
 using exp::dumbbell_config;
 using exp::flid_mode;
 using exp::receiver_options;
@@ -17,7 +18,7 @@ using exp::receiver_options;
 TEST(flid_receiver, climbs_when_capacity_is_ample) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;  // no bottleneck for a <4 Mbps session
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   d.run_until(sim::seconds(60.0));
   // With ~0.3 upgrade probability per slot the receiver should reach the
@@ -29,7 +30,7 @@ TEST(flid_receiver, climbs_when_capacity_is_ample) {
 TEST(flid_receiver, stabilizes_near_fair_level_at_bottleneck) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   d.run_until(sim::seconds(120.0));
   // Fair level: cumulative rate <= 250 Kbps -> level 3 (225 Kbps).
@@ -43,7 +44,7 @@ TEST(flid_receiver, stabilizes_near_fair_level_at_bottleneck) {
 TEST(flid_receiver, level_history_records_transitions) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   d.run_until(sim::seconds(60.0));
   const auto& hist = session.receiver().level_history();
@@ -59,7 +60,7 @@ TEST(flid_receiver, level_history_records_transitions) {
 TEST(flid_receiver, drops_layers_when_cbr_burst_arrives) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 500e3;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   traffic::cbr_config cbr;
   cbr.rate_bps = 400e3;
@@ -80,7 +81,7 @@ TEST(flid_receiver, drops_layers_when_cbr_burst_arrives) {
 TEST(flid_receiver, two_receivers_converge_to_same_level) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   receiver_options early;
   receiver_options late;
   late.start_time = sim::seconds(10.0);
@@ -94,7 +95,7 @@ TEST(flid_receiver, two_receivers_converge_to_same_level) {
 TEST(flid_receiver, counts_congested_slots) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 150e3;  // tight: losses guaranteed while probing
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   d.run_until(sim::seconds(60.0));
   EXPECT_GT(session.receiver().stats().slots_congested, 0u);

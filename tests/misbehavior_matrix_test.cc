@@ -4,12 +4,13 @@
 // after a total blackout.
 #include <gtest/gtest.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
 
 using exp::dumbbell;
+using exp::testbed;
 using exp::dumbbell_config;
 using exp::flid_mode;
 using exp::receiver_options;
@@ -26,7 +27,7 @@ TEST_P(containment_matrix, attacker_held_near_honest_share) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = bottleneck;
   cfg.seed = 21;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   receiver_options attacker;
   attacker.inflate = true;
   attacker.inflate_at = sim::seconds(30.0);
@@ -67,7 +68,7 @@ TEST(blackout_recovery, honest_receiver_rejoins_after_total_outage) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 1e6;
   cfg.seed = 31;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   traffic::cbr_config flood;
   flood.rate_bps = 1.2e6;  // over capacity
@@ -96,7 +97,7 @@ TEST(blackout_recovery, attacker_blackout_does_not_unlock_extra_access) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 1e6;
   cfg.seed = 33;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   receiver_options attacker;
   attacker.inflate = true;
   attacker.inflate_at = sim::seconds(10.0);

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
@@ -84,7 +84,7 @@ TEST(overhead_measured, sigma_control_traffic_matches_model_order) {
   // byte with the analytic O_Sigma at the same parameters.
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
   auto& s = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
   d.run_until(sim::seconds(100.0));
 
@@ -123,7 +123,7 @@ TEST(overhead_measured, delta_fields_match_model_exactly) {
   // of groups >= 2.
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  exp::dumbbell d(cfg);
+  exp::testbed d(exp::dumbbell(cfg));
   auto& s = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
   d.run_until(sim::seconds(100.0));
   const auto& snd = s.sender->stats();

@@ -1,6 +1,6 @@
 // Tests for the experiment kit itself: topology sizing, paper defaults,
 // session bookkeeping, and failure-injection behaviours of the dumbbell.
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 #include <gtest/gtest.h>
 
@@ -14,7 +14,7 @@ TEST(scenario, paper_defaults_match_section_5_1) {
   EXPECT_EQ(cfg.bottleneck_delay, sim::milliseconds(20));
   EXPECT_DOUBLE_EQ(cfg.buffer_bdp, 2.0);
 
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   const auto dl = d.default_flid_config(flid_mode::dl);
   EXPECT_EQ(dl.num_groups, 10);
   EXPECT_DOUBLE_EQ(dl.base_rate_bps, 100e3);
@@ -30,14 +30,14 @@ TEST(scenario, bottleneck_buffer_is_two_bdp) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 1e6;
   cfg.base_rtt = sim::milliseconds(80);
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   // 2 x 1 Mbps x 80 ms / 8 = 20 KB.
   EXPECT_EQ(d.bottleneck()->config().queue_capacity_bytes, 20'000);
 }
 
 TEST(scenario, sessions_get_distinct_ids_and_group_ranges) {
   dumbbell_config cfg;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& s1 = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   auto& s2 = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   EXPECT_NE(s1.config.session_id, s2.config.session_id);
@@ -49,7 +49,7 @@ TEST(scenario, sessions_get_distinct_ids_and_group_ranges) {
 
 TEST(scenario, ds_sessions_are_protected_dl_sessions_are_not) {
   dumbbell_config cfg;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& dl = d.add_flid_session(flid_mode::dl, {receiver_options{}});
   auto& ds = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   EXPECT_FALSE(d.net().is_sigma_protected(dl.config.group(1)));
@@ -60,7 +60,7 @@ TEST(scenario, ds_sessions_are_protected_dl_sessions_are_not) {
 
 TEST(scenario, adding_after_run_is_rejected) {
   dumbbell_config cfg;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   d.add_flid_session(flid_mode::dl, {receiver_options{}});
   d.run_until(sim::seconds(1.0));
   EXPECT_THROW(d.add_tcp_flow(), util::invariant_error);
@@ -72,7 +72,7 @@ TEST(scenario, multi_receiver_sessions_share_one_bottleneck_stream) {
   // 4 receivers of one session: the bottleneck carries the session once.
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& s =
       d.add_flid_session(flid_mode::dl, {receiver_options{}, receiver_options{},
                                          receiver_options{}, receiver_options{}});
@@ -95,7 +95,7 @@ TEST(scenario, multi_receiver_sessions_share_one_bottleneck_stream) {
 TEST(scenario, average_receiver_kbps_averages_across_receivers) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& s = d.add_flid_session(flid_mode::dl,
                                {receiver_options{}, receiver_options{}});
   d.run_until(sim::seconds(20.0));
@@ -113,7 +113,7 @@ TEST(scenario, seeds_change_outcomes_deterministically) {
     dumbbell_config cfg;
     cfg.bottleneck_bps = 500e3;
     cfg.seed = seed;
-    dumbbell d(cfg);
+    testbed d(dumbbell(cfg));
     auto& s = d.add_flid_session(flid_mode::dl, {receiver_options{}});
     d.add_tcp_flow();
     d.run_until(sim::seconds(30.0));
@@ -122,6 +122,129 @@ TEST(scenario, seeds_change_outcomes_deterministically) {
   // Same seed -> identical simulation; different seed -> different run.
   EXPECT_EQ(run_once(5), run_once(5));
   EXPECT_NE(run_once(5), run_once(6));
+}
+
+TEST(scenario, negative_access_delay_is_rejected_loudly) {
+  // The old API used -1 as a "use the default" sentinel on access_delay; a
+  // misconfigured negative delay now fails instead of silently meaning
+  // "default".
+  dumbbell_config cfg;
+  testbed d(dumbbell(cfg));
+  receiver_options opt;
+  opt.access_delay = sim::milliseconds(-5);
+  EXPECT_THROW(d.add_flid_session(flid_mode::dl, {opt}),
+               util::invariant_error);
+  EXPECT_THROW(d.attach_host("h", "r", 1e6, -1), util::invariant_error);
+}
+
+TEST(scenario, bad_session_placement_fails_before_anything_starts) {
+  // Placement is validated before the sender attaches: a typo'd site name
+  // must not leave a half-built session (started sender, consumed id)
+  // behind for callers that catch the error and keep running.
+  parking_lot_config cfg;
+  testbed d(parking_lot(cfg));
+  receiver_options typo;
+  typo.at = "r9";
+  EXPECT_THROW(d.add_flid_session(flid_mode::ds, {typo}),
+               util::invariant_error);
+  session_options bad_sender;
+  bad_sender.sender_at = "nowhere";
+  EXPECT_THROW(
+      d.add_flid_session(flid_mode::ds, {receiver_options{}}, bad_sender),
+      util::invariant_error);
+  EXPECT_EQ(d.next_session_id(), 1);
+  const int nodes_before = d.net().node_count();
+  // The testbed is still usable: a valid session runs fine afterwards.
+  auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  d.run_until(sim::seconds(20.0));
+  EXPECT_GT(d.net().node_count(), nodes_before);
+  EXPECT_GT(session.receiver().monitor().total_bytes(), 0);
+}
+
+TEST(scenario, receivers_attach_to_named_routers) {
+  // A star with receivers on two different spokes: each spoke receiver is
+  // limited by its own spoke link, not by the other's.
+  star_config cfg;
+  cfg.spokes = 3;
+  cfg.spoke_bps = 1e6;
+  testbed d(star(cfg));
+  receiver_options on_s1;
+  on_s1.at = "s1";
+  receiver_options on_s2;
+  on_s2.at = "s2";
+  auto& session = d.add_flid_session(flid_mode::dl, {on_s1, on_s2});
+  d.run_until(sim::seconds(30.0));
+  // Both receivers climb: their spokes are independent 1 Mbps paths.
+  const double r0 = session.receiver(0).monitor().average_kbps(
+      sim::seconds(10.0), sim::seconds(30.0));
+  const double r1 = session.receiver(1).monitor().average_kbps(
+      sim::seconds(10.0), sim::seconds(30.0));
+  EXPECT_GT(r0, 300.0);
+  EXPECT_NEAR(r1, r0, 0.25 * r0);
+  // And the unused spoke carried no session traffic.
+  EXPECT_EQ(d.topo().between("hub", "s3")->stats().delivered, 0u);
+}
+
+TEST(scenario, tree_testbed_runs_a_session_to_a_leaf) {
+  tree_config cfg;
+  cfg.depth = 2;
+  cfg.fanout = 2;
+  cfg.edge_bps = 1e6;
+  testbed d(balanced_tree(cfg));
+  receiver_options left_leaf;   // default receiver site: t2_0
+  receiver_options right_leaf;
+  right_leaf.at = "t2_3";
+  auto& session = d.add_flid_session(flid_mode::ds, {left_leaf, right_leaf});
+  d.run_until(sim::seconds(30.0));
+  EXPECT_GT(session.receiver(0).monitor().average_kbps(sim::seconds(10.0),
+                                                       sim::seconds(30.0)),
+            200.0);
+  EXPECT_GT(session.receiver(1).monitor().average_kbps(sim::seconds(10.0),
+                                                       sim::seconds(30.0)),
+            200.0);
+  // Each leaf's edge SIGMA agent did its own enforcement.
+  EXPECT_GT(d.sigma("t2_0").stats().valid_keys, 0u);
+  EXPECT_GT(d.sigma("t2_3").stats().valid_keys, 0u);
+}
+
+TEST(scenario, parking_lot_attacker_behind_second_bottleneck_is_contained) {
+  // The scenario the dumbbell could not express: a SIGMA-protected session
+  // crossing two bottlenecks in series, with the misbehaving receiver behind
+  // the second one. Its edge router ("r2") must contain the inflation while
+  // an honest receiver of the same session behind the FIRST bottleneck
+  // ("r1") keeps its allocation.
+  parking_lot_config cfg;
+  cfg.bottlenecks = 2;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 9;
+  testbed d(parking_lot(cfg));
+  receiver_options honest_near;
+  honest_near.at = "r1";
+  receiver_options attacker_far;
+  attacker_far.at = "r2";
+  attacker_far.inflate = true;
+  attacker_far.inflate_at = sim::seconds(30.0);
+  auto& session =
+      d.add_flid_session(flid_mode::ds, {honest_near, attacker_far});
+  flow_options tcp_far;  // competes on both bottlenecks
+  auto& t1 = d.add_tcp_flow(tcp_far);
+  d.run_until(sim::seconds(90.0));
+
+  const sim::time_ns t0 = sim::seconds(45.0);
+  const sim::time_ns te = sim::seconds(90.0);
+  const double honest_kbps =
+      session.receiver(0).monitor().average_kbps(t0, te);
+  const double attacker_kbps =
+      session.receiver(1).monitor().average_kbps(t0, te);
+  const double tcp_kbps = t1.sink->monitor().average_kbps(t0, te);
+  // The attacker's invalid keys landed at its own edge router, not the
+  // near one.
+  EXPECT_GT(d.sigma("r2").stats().invalid_keys, 0u);
+  EXPECT_EQ(d.sigma("r1").stats().invalid_keys, 0u);
+  // Containment: no unprotected-style grab of the 1 Mbps bottlenecks.
+  EXPECT_LT(attacker_kbps, 750.0);
+  EXPECT_GT(honest_kbps, 100.0);
+  EXPECT_GT(tcp_kbps, 50.0);
 }
 
 }  // namespace

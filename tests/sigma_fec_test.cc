@@ -6,7 +6,7 @@
 #include "core/flid_ds.h"
 #include "core/sigma_emitter.h"
 #include "core/sigma_router.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {

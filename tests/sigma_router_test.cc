@@ -5,12 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "core/flid_ds.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
 
 using exp::dumbbell;
+using exp::testbed;
 using exp::dumbbell_config;
 using exp::flid_mode;
 using exp::receiver_options;
@@ -19,9 +20,9 @@ struct sigma_fixture : ::testing::Test {
   sigma_fixture() {
     dumbbell_config cfg;
     cfg.bottleneck_bps = 10e6;  // uncongested unless a test says otherwise
-    d = std::make_unique<dumbbell>(cfg);
+    d = std::make_unique<testbed>(dumbbell(cfg));
   }
-  std::unique_ptr<dumbbell> d;
+  std::unique_ptr<testbed> d;
 };
 
 TEST_F(sigma_fixture, ctrl_blocks_decode_at_router) {
@@ -51,10 +52,8 @@ TEST_F(sigma_fixture, subscription_messages_flow_every_slot) {
 TEST_F(sigma_fixture, raw_igmp_join_to_protected_group_is_refused) {
   auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
   // A fresh host tries to IGMP-join group 5 of the protected session.
-  const auto intruder = d->net().add_host("intruder");
-  sim::link_config ac;
-  d->net().connect(d->right_router(), intruder, ac);
-  mcast::membership_client client(d->net(), intruder, d->right_router());
+  const auto intruder = d->attach_host("intruder", "r");
+  mcast::membership_client client(d->net(), intruder, d->router("r"));
   d->sched().at(sim::seconds(1.0),
                 [&] { client.join(session.config.group(5)); });
   d->run_until(sim::seconds(10.0));
@@ -64,14 +63,12 @@ TEST_F(sigma_fixture, raw_igmp_join_to_protected_group_is_refused) {
 
 TEST_F(sigma_fixture, session_join_lying_about_minimal_group_is_refused) {
   auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
-  const auto intruder = d->net().add_host("liar");
-  sim::link_config ac;
-  d->net().connect(d->right_router(), intruder, ac);
+  const auto intruder = d->attach_host("liar", "r");
   d->net().get(intruder)->host_join(session.config.group(8));
   d->sched().at(sim::seconds(1.0), [&] {
     sim::packet p;
     p.size_bytes = 20;
-    p.dst = sim::dest::to_node(d->right_router());
+    p.dst = sim::dest::to_node(d->router("r"));
     // Claim the high-rate group 8 is "minimal".
     p.hdr = sim::sigma_session_join{session.config.session_id,
                                     session.config.group(8)};
@@ -86,14 +83,12 @@ TEST_F(sigma_fixture, keyless_session_join_gets_grace_then_cutoff) {
   auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
   // A receiver that session-joins but never submits keys: gets the minimal
   // group for the grace window, then is cut off (probation block).
-  const auto freeloader = d->net().add_host("freeloader");
-  sim::link_config ac;
-  d->net().connect(d->right_router(), freeloader, ac);
+  const auto freeloader = d->attach_host("freeloader", "r");
   d->net().get(freeloader)->host_join(session.config.group(1));
   d->sched().at(sim::seconds(2.0), [&] {
     sim::packet p;
     p.size_bytes = 20;
-    p.dst = sim::dest::to_node(d->right_router());
+    p.dst = sim::dest::to_node(d->router("r"));
     p.hdr = sim::sigma_session_join{session.config.session_id,
                                     session.config.group(1)};
     d->net().get(freeloader)->send(std::move(p));
@@ -120,30 +115,30 @@ TEST_F(sigma_fixture, random_key_guessing_fails_and_is_tallied) {
   // its honest entitlement; guessing added nothing (all guesses invalid).
   (void)session;
   sim::link* iface = d->net().next_hop(
-      d->right_router(), session.receivers.front()->host());
+      d->router("r"), session.receivers.front()->host());
   EXPECT_GT(d->sigma().guess_tally(iface), 0u);
 }
 
 TEST_F(sigma_fixture, stale_authorization_is_pruned) {
   auto& session = d->add_flid_session(flid_mode::ds, {receiver_options{}});
   d->run_until(sim::seconds(20.0));
-  const auto before = d->net().get(d->right_router())->stats().policy_denied;
+  const auto before = d->net().get(d->router("r"))->stats().policy_denied;
   // Destroy the receiver so no more subscriptions arrive; the router must
   // prune within ~2 slots.
   session.receivers.clear();
   d->run_until(sim::seconds(30.0));
   EXPECT_GT(d->sigma().stats().stale_prunes, 0u);
   // After pruning, denials stop growing (traffic no longer reaches it).
-  const auto mid = d->net().get(d->right_router())->stats().policy_denied;
+  const auto mid = d->net().get(d->router("r"))->stats().policy_denied;
   d->run_until(sim::seconds(40.0));
-  const auto after = d->net().get(d->right_router())->stats().policy_denied;
+  const auto after = d->net().get(d->router("r"))->stats().policy_denied;
   EXPECT_LE(after - mid, mid - before + 8);
 }
 
 TEST(sigma_router, unsubscribes_accompany_downgrades_under_congestion) {
   dumbbell_config cfg;
   cfg.bottleneck_bps = 250e3;  // the session must repeatedly shed layers
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(60.0));
   EXPECT_GT(session.receiver().stats().downgrades, 0u);

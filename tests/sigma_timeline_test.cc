@@ -6,12 +6,13 @@
 #include "core/delta_layered.h"
 #include "core/flid_ds.h"
 #include "core/sigma_emitter.h"
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
 
 using exp::dumbbell;
+using exp::testbed;
 using exp::dumbbell_config;
 using exp::flid_mode;
 using exp::receiver_options;
@@ -76,7 +77,7 @@ TEST(sigma_timeline, receiver_keys_become_effective_two_slots_later) {
   // slots) or under an authorization earned exactly two slots earlier.
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(30.0));
   auto& r = session.receiver();
@@ -92,7 +93,7 @@ TEST(sigma_timeline, authorization_expires_without_fresh_keys) {
   // authorized_until covers at most slot s+2.
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(10.0));
   const auto delivered_before =
@@ -117,7 +118,7 @@ TEST(sigma_timeline, grace_covers_exactly_the_bootstrap_window) {
   // not steady state.
   dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;
-  dumbbell d(cfg);
+  testbed d(dumbbell(cfg));
   auto& session = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(60.0));
   (void)session;

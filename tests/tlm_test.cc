@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "exp/scenario.h"
+#include "exp/testbed.h"
 
 namespace mcc::core {
 namespace {
@@ -16,7 +16,7 @@ struct tlm_world {
     exp::dumbbell_config cfg;
     cfg.bottleneck_bps = bottleneck_bps;
     cfg.seed = seed;
-    d = std::make_unique<exp::dumbbell>(cfg);
+    d = std::make_unique<exp::testbed>(exp::dumbbell(cfg));
 
     fc = d->default_flid_config(exp::flid_mode::ds);
     fc.session_id = 70;
@@ -24,23 +24,20 @@ struct tlm_world {
     thresholds = threshold_config::uniform(fc.num_groups, base_threshold,
                                            fc.key_bits);
 
-    src = d->net().add_host("tlm_src");
-    sim::link_config ac;
-    d->net().connect(src, d->left_router(), ac);
+    src = d->attach_host("tlm_src", "l");
     sender = std::make_unique<flid::flid_sender>(d->net(), src, fc, seed);
     bundle = make_tlm_sender(d->net(), src, *sender, thresholds, seed + 1);
     sender->start(0);
 
-    dst = d->net().add_host("tlm_rcv");
-    d->net().connect(d->right_router(), dst, ac);
+    dst = d->attach_host("tlm_rcv", "r");
     auto strategy = std::make_unique<tlm_sigma_strategy>(thresholds);
     strategy_raw = strategy.get();
     receiver = std::make_unique<flid::flid_receiver>(
-        d->net(), dst, d->right_router(), fc, std::move(strategy));
+        d->net(), dst, d->router("r"), fc, std::move(strategy));
     receiver->start(0);
   }
 
-  std::unique_ptr<exp::dumbbell> d;
+  std::unique_ptr<exp::testbed> d;
   flid::flid_config fc;
   threshold_config thresholds;
   sim::node_id src, dst;

@@ -1,0 +1,303 @@
+// The declarative topology layer: builder validation, named factories,
+// next-hop tables on non-dumbbell graphs, and multicast graft/prune
+// propagation (join_upstream / leave_upstream) on chains and trees.
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "test_util.h"
+
+namespace mcc::sim {
+namespace {
+
+using mcc::testing::capture_agent;
+using mcc::testing::make_packet;
+
+link_config fast_link() {
+  link_config cfg;
+  cfg.bps = 10e6;
+  cfg.delay = milliseconds(10);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Builder semantics
+// ---------------------------------------------------------------------------
+
+TEST(topology_builder, builds_named_nodes_and_duplex_links) {
+  scheduler sched;
+  network net(sched);
+  topology_builder b;
+  b.router("a").router("b").host("h").duplex("a", "b", fast_link());
+  b.duplex("b", "h", fast_link());
+  const topology t = b.build(net);
+  EXPECT_TRUE(t.has("a"));
+  EXPECT_TRUE(t.has("h"));
+  EXPECT_FALSE(t.has("zz"));
+  EXPECT_TRUE(net.get(t.node("a"))->is_router());
+  EXPECT_TRUE(net.get(t.node("h"))->is_host());
+  // Both directions of a duplex link resolve, and they are reverses.
+  link* ab = t.between("a", "b");
+  link* ba = t.between("b", "a");
+  ASSERT_NE(ab, nullptr);
+  ASSERT_NE(ba, nullptr);
+  EXPECT_EQ(ab->reverse(), ba);
+  EXPECT_EQ(t.between("a", "h"), nullptr);
+  EXPECT_EQ(t.backbone_count(), 2);
+  EXPECT_EQ(t.backbone(0), ab);
+  // Routers listed in declaration order; hosts excluded.
+  ASSERT_EQ(t.routers().size(), 2u);
+  EXPECT_EQ(t.routers()[0], "a");
+  EXPECT_EQ(t.routers()[1], "b");
+}
+
+TEST(topology_builder, rejects_duplicates_and_undeclared_endpoints) {
+  scheduler sched;
+  {
+    network net(sched);
+    topology_builder b;
+    b.router("a").router("a");
+    EXPECT_THROW((void)b.build(net), util::invariant_error);
+  }
+  {
+    network net(sched);
+    topology_builder b;
+    b.router("a").duplex("a", "ghost", fast_link());
+    EXPECT_THROW((void)b.build(net), util::invariant_error);
+  }
+  {
+    network net(sched);
+    topology_builder b;
+    EXPECT_THROW((void)b.build(net), util::invariant_error);  // no nodes
+  }
+}
+
+TEST(topology, unknown_name_throws) {
+  scheduler sched;
+  network net(sched);
+  topology_builder b;
+  b.router("a");
+  const topology t = b.build(net);
+  EXPECT_THROW((void)t.node("b"), util::invariant_error);
+  EXPECT_THROW((void)t.backbone(0), util::invariant_error);
+}
+
+// ---------------------------------------------------------------------------
+// Named factories: shape and unicast routing
+// ---------------------------------------------------------------------------
+
+TEST(topology_factories, dumbbell_is_two_routers_one_bottleneck) {
+  scheduler sched;
+  network net(sched);
+  const topology t = dumbbell(fast_link()).build(net);
+  EXPECT_EQ(net.node_count(), 2);
+  EXPECT_EQ(t.backbone_count(), 1);
+  EXPECT_EQ(t.between("l", "r"), t.backbone(0));
+}
+
+TEST(topology_factories, parking_lot_routes_through_every_bottleneck) {
+  scheduler sched;
+  network net(sched);
+  const int k = 3;
+  const topology t = parking_lot(k, fast_link()).build(net);
+  EXPECT_EQ(net.node_count(), k + 1);
+  EXPECT_EQ(t.backbone_count(), k);
+  // Hosts on either end; the path crosses each chain link in order.
+  const node_id a = net.add_host("a");
+  const node_id b = net.add_host("b");
+  net.connect(a, t.node("r0"), fast_link());
+  net.connect(t.node("r3"), b, fast_link());
+  net.finalize_routing();
+  EXPECT_EQ(net.next_hop(t.node("r0"), b), t.backbone(0));
+  EXPECT_EQ(net.next_hop(t.node("r1"), b), t.backbone(1));
+  EXPECT_EQ(net.next_hop(t.node("r2"), b), t.backbone(2));
+  // Reverse direction uses the reverse links.
+  EXPECT_EQ(net.next_hop(t.node("r3"), a), t.backbone(2)->reverse());
+  // And a packet actually makes it end to end.
+  capture_agent sink(net, b);
+  net.get(a)->send(make_packet(100, b));
+  sched.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+TEST(topology_factories, star_routes_spoke_to_spoke_via_hub) {
+  scheduler sched;
+  network net(sched);
+  const topology t = star(4, fast_link()).build(net);
+  EXPECT_EQ(net.node_count(), 5);
+  net.finalize_routing();
+  // s1 -> s3 goes through the hub.
+  link* first = net.next_hop(t.node("s1"), t.node("s3"));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->to()->id(), t.node("hub"));
+  EXPECT_EQ(net.next_hop(t.node("hub"), t.node("s3"))->to()->id(),
+            t.node("s3"));
+}
+
+TEST(topology_factories, balanced_tree_has_full_levels_and_leaf_paths) {
+  scheduler sched;
+  network net(sched);
+  const int depth = 3;
+  const int fanout = 2;
+  const topology t = balanced_tree(depth, fanout, fast_link()).build(net);
+  // 1 + 2 + 4 + 8 routers.
+  EXPECT_EQ(net.node_count(), 15);
+  EXPECT_EQ(static_cast<int>(t.routers().size()), 15);
+  net.finalize_routing();
+  // Path from root to the last leaf descends one level per hop.
+  const node_id leaf = t.node("t3_7");
+  node_id cur = t.node("root");
+  int hops = 0;
+  while (cur != leaf) {
+    link* l = net.next_hop(cur, leaf);
+    ASSERT_NE(l, nullptr);
+    cur = l->to()->id();
+    ++hops;
+  }
+  EXPECT_EQ(hops, depth);
+  // Two leaves in different subtrees route through their common ancestors:
+  // t3_0 -> t3_7 climbs to the root (3 up) then descends (3 down).
+  cur = t.node("t3_0");
+  hops = 0;
+  while (cur != t.node("t3_7")) {
+    cur = net.next_hop(cur, t.node("t3_7"))->to()->id();
+    ++hops;
+  }
+  EXPECT_EQ(hops, 2 * depth);
+}
+
+// ---------------------------------------------------------------------------
+// Multicast graft/prune on non-dumbbell graphs
+// ---------------------------------------------------------------------------
+
+struct tree_mcast : ::testing::Test {
+  tree_mcast() : net(sched) {
+    t = balanced_tree(2, 2, fast_link()).build(net);
+    src = net.add_host("src");
+    net.connect(src, t.node("root"), fast_link());
+    for (const char* leaf : {"t2_0", "t2_1", "t2_2", "t2_3"}) {
+      const node_id h = net.add_host(std::string("h_") + leaf);
+      net.connect(t.node(leaf), h, fast_link());
+      hosts.push_back(h);
+    }
+    net.finalize_routing();
+    net.register_group_source(g, src);
+  }
+
+  /// Sends one multicast packet from the source and runs to quiescence.
+  void send_one() {
+    packet p;
+    p.size_bytes = 100;
+    p.dst = dest::to_group(g);
+    net.get(src)->send(std::move(p));
+    sched.run();
+  }
+
+  scheduler sched;
+  network net;
+  topology t;
+  group_addr g{5000};
+  node_id src = invalid_node;
+  std::vector<node_id> hosts;
+};
+
+TEST_F(tree_mcast, join_upstream_grafts_the_whole_leaf_to_root_path) {
+  // Join at leaf t2_0 (plus its host-facing graft, done by edge IGMP in real
+  // runs; grafted here directly).
+  net.get(t.node("t2_0"))
+      ->graft(g, net.next_hop(t.node("t2_0"), hosts[0]));
+  net.join_upstream(t.node("t2_0"), g);
+  sched.run();
+  // Interior branch root->t1_0->t2_0 grafted, nothing toward the right
+  // subtree.
+  EXPECT_EQ(net.get(t.node("root"))->oif_count(g), 1);
+  EXPECT_TRUE(net.get(t.node("root"))
+                  ->has_oif(g, net.next_hop(t.node("root"), t.node("t1_0"))));
+  EXPECT_EQ(net.get(t.node("t1_0"))->oif_count(g), 1);
+  EXPECT_EQ(net.get(t.node("t1_1"))->oif_count(g), 0);
+
+  capture_agent joined(net, hosts[0]);
+  capture_agent not_joined(net, hosts[3]);
+  net.get(hosts[0])->host_join(g);
+  send_one();
+  EXPECT_EQ(joined.packets.size(), 1u);
+  EXPECT_TRUE(not_joined.packets.empty());
+}
+
+TEST_F(tree_mcast, shared_path_carries_one_copy_for_sibling_leaves) {
+  for (int i : {0, 1}) {
+    const node_id leaf = t.node("t2_" + std::to_string(i));
+    net.get(leaf)->graft(g, net.next_hop(leaf, hosts[static_cast<std::size_t>(i)]));
+    net.get(hosts[static_cast<std::size_t>(i)])->host_join(g);
+    net.join_upstream(leaf, g);
+  }
+  sched.run();
+  // t1_0 fans out to both children; the root still has a single oif.
+  EXPECT_EQ(net.get(t.node("t1_0"))->oif_count(g), 2);
+  EXPECT_EQ(net.get(t.node("root"))->oif_count(g), 1);
+  const auto before =
+      t.between("root", "t1_0")->stats().delivered;
+  send_one();
+  // One copy on the shared root->t1_0 edge, duplicated only below.
+  EXPECT_EQ(t.between("root", "t1_0")->stats().delivered, before + 1);
+  EXPECT_EQ(t.between("root", "t1_1")->stats().delivered, 0u);
+}
+
+TEST_F(tree_mcast, leave_upstream_prunes_only_drained_branches) {
+  for (int i : {0, 1}) {
+    const node_id leaf = t.node("t2_" + std::to_string(i));
+    net.get(leaf)->graft(g, net.next_hop(leaf, hosts[static_cast<std::size_t>(i)]));
+    net.join_upstream(leaf, g);
+  }
+  sched.run();
+  // Leaf t2_1 leaves: its branch is pruned at t1_0, but the shared
+  // root->t1_0 edge must survive (t2_0 still subscribed).
+  net.get(t.node("t2_1"))
+      ->prune(g, net.next_hop(t.node("t2_1"), hosts[1]));
+  net.leave_upstream(t.node("t2_1"), g);
+  sched.run();
+  EXPECT_EQ(net.get(t.node("t1_0"))->oif_count(g), 1);
+  EXPECT_EQ(net.get(t.node("root"))->oif_count(g), 1);
+  // Now the last subscriber leaves and the tree drains to the root.
+  net.get(t.node("t2_0"))
+      ->prune(g, net.next_hop(t.node("t2_0"), hosts[0]));
+  net.leave_upstream(t.node("t2_0"), g);
+  sched.run();
+  EXPECT_EQ(net.get(t.node("t1_0"))->oif_count(g), 0);
+  EXPECT_EQ(net.get(t.node("root"))->oif_count(g), 0);
+}
+
+TEST(parking_lot_mcast, join_from_far_edge_grafts_every_chain_hop) {
+  scheduler sched;
+  network net(sched);
+  const topology t = parking_lot(3, fast_link()).build(net);
+  const node_id src = net.add_host("src");
+  net.connect(src, t.node("r0"), fast_link());
+  const node_id h = net.add_host("h");
+  net.connect(t.node("r3"), h, fast_link());
+  net.finalize_routing();
+  const group_addr g{6000};
+  net.register_group_source(g, src);
+
+  net.get(t.node("r3"))->graft(g, net.next_hop(t.node("r3"), h));
+  net.join_upstream(t.node("r3"), g);
+  sched.run();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(net.get(t.node("r" + std::to_string(i)))->oif_count(g), 1)
+        << "r" << i;
+  }
+  net.get(h)->host_join(g);
+  capture_agent sink(net, h);
+  packet p;
+  p.size_bytes = 64;
+  p.dst = dest::to_group(g);
+  net.get(src)->send(std::move(p));
+  sched.run();
+  EXPECT_EQ(sink.packets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcc::sim
