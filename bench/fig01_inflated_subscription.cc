@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "exp/report.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "util/flags.h"
 
@@ -23,42 +24,66 @@ int main(int argc, char** argv) {
   flags.add("inflate_at", "100", "attack start, seconds");
   flags.add("inflate_level", "6", "subscription level the attacker jumps to (0 = all)");
   flags.add("seed", "7", "simulation seed");
+  exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  exp::dumbbell_config cfg;
-  cfg.bottleneck_bps = 1e6;
-  cfg.seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  exp::testbed d(exp::dumbbell(cfg));
+  const double duration = flags.f64("duration");
+  const double inflate_at_s = flags.f64("inflate_at");
+  const int inflate_level = static_cast<int>(flags.i64("inflate_level"));
+  const auto opts = exp::sweep_options_from_flags(
+      flags, static_cast<std::uint64_t>(flags.i64("seed")));
 
-  exp::receiver_options attacker;
-  attacker.inflate = true;
-  attacker.inflate_at = sim::seconds(flags.f64("inflate_at"));
-  attacker.inflate_level = static_cast<int>(flags.i64("inflate_level"));
-  auto& f1 = d.add_flid_session(exp::flid_mode::dl, {attacker});
-  auto& f2 = d.add_flid_session(exp::flid_mode::dl, {exp::receiver_options{}});
-  auto& t1 = d.add_tcp_flow();
-  auto& t2 = d.add_tcp_flow();
+  const auto rows = exp::run_sweep(
+      {1.0}, opts, [&](const exp::sweep_point& pt) {
+        exp::dumbbell_config cfg;
+        cfg.bottleneck_bps = 1e6;
+        cfg.seed = pt.seed;
+        exp::testbed d(exp::dumbbell(cfg));
 
-  const sim::time_ns horizon = sim::seconds(flags.f64("duration"));
-  d.run_until(horizon);
+        exp::receiver_options attacker;
+        attacker.inflate = true;
+        attacker.inflate_at = sim::seconds(inflate_at_s);
+        attacker.inflate_level = inflate_level;
+        auto& f1 = d.add_flid_session(exp::flid_mode::dl, {attacker});
+        auto& f2 = d.add_flid_session(exp::flid_mode::dl, {exp::receiver_options{}});
+        auto& t1 = d.add_tcp_flow();
+        auto& t2 = d.add_tcp_flow();
+
+        const sim::time_ns horizon = sim::seconds(duration);
+        d.run_until(horizon);
+
+        const sim::time_ns t0 = attacker.inflate_at + sim::seconds(10.0);
+        exp::sweep_row row;
+        row.label = "fig01";
+        row.trace("F1_kbps", f1.receiver().monitor().series_kbps());
+        row.trace("F2_kbps", f2.receiver().monitor().series_kbps());
+        row.trace("T1_kbps", t1.sink->monitor().series_kbps());
+        row.trace("T2_kbps", t2.sink->monitor().series_kbps());
+        row.value("F1_after", f1.receiver().monitor().average_kbps(t0, horizon));
+        row.value("F2_after", f2.receiver().monitor().average_kbps(t0, horizon));
+        row.value("T1_after", t1.sink->monitor().average_kbps(t0, horizon));
+        row.value("T2_after", t2.sink->monitor().average_kbps(t0, horizon));
+        return row;
+      });
+  const exp::sweep_row& row = rows.front();
 
   exp::print_series(std::cout, "Fig 1: F1 (misbehaving FLID-DL) Kbps vs s",
-                    f1.receiver().monitor().series_kbps());
+                    *row.trace_of("F1_kbps"));
   exp::print_series(std::cout, "Fig 1: F2 (FLID-DL) Kbps vs s",
-                    f2.receiver().monitor().series_kbps());
+                    *row.trace_of("F2_kbps"));
   exp::print_series(std::cout, "Fig 1: T1 (TCP) Kbps vs s",
-                    t1.sink->monitor().series_kbps());
+                    *row.trace_of("T1_kbps"));
   exp::print_series(std::cout, "Fig 1: T2 (TCP) Kbps vs s",
-                    t2.sink->monitor().series_kbps());
+                    *row.trace_of("T2_kbps"));
 
-  const sim::time_ns t0 = attacker.inflate_at + sim::seconds(10.0);
   exp::print_check(std::cout, "F1 throughput after inflating", "~690",
-                   f1.receiver().monitor().average_kbps(t0, horizon), "Kbps");
+                   row.value_of("F1_after"), "Kbps");
   exp::print_check(std::cout, "F2 throughput after the attack", "~100 (crushed)",
-                   f2.receiver().monitor().average_kbps(t0, horizon), "Kbps");
+                   row.value_of("F2_after"), "Kbps");
   exp::print_check(std::cout, "T1 throughput after the attack", "~100 (crushed)",
-                   t1.sink->monitor().average_kbps(t0, horizon), "Kbps");
+                   row.value_of("T1_after"), "Kbps");
   exp::print_check(std::cout, "T2 throughput after the attack", "~100 (crushed)",
-                   t2.sink->monitor().average_kbps(t0, horizon), "Kbps");
+                   row.value_of("T2_after"), "Kbps");
+  exp::maybe_write_json(flags, "fig01_inflated_subscription", rows);
   return 0;
 }

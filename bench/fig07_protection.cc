@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "exp/report.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "sim/stats.h"
 #include "util/flags.h"
@@ -19,48 +20,74 @@ int main(int argc, char** argv) {
   flags.add("duration", "200", "experiment length, seconds");
   flags.add("inflate_at", "100", "attack start, seconds");
   flags.add("seed", "7", "simulation seed");
+  exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
-  exp::dumbbell_config cfg;
-  cfg.bottleneck_bps = 1e6;
-  cfg.seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  exp::testbed d(exp::dumbbell(cfg));
+  const double duration = flags.f64("duration");
+  const double inflate_at_s = flags.f64("inflate_at");
+  const auto opts = exp::sweep_options_from_flags(
+      flags, static_cast<std::uint64_t>(flags.i64("seed")));
 
-  exp::receiver_options attacker;
-  attacker.inflate = true;
-  attacker.inflate_at = sim::seconds(flags.f64("inflate_at"));
-  attacker.attack_keys = core::misbehaving_sigma_strategy::key_mode::guess;
-  auto& f1 = d.add_flid_session(exp::flid_mode::ds, {attacker});
-  auto& f2 = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
-  auto& t1 = d.add_tcp_flow();
-  auto& t2 = d.add_tcp_flow();
+  const auto rows = exp::run_sweep(
+      {1.0}, opts, [&](const exp::sweep_point& pt) {
+        exp::dumbbell_config cfg;
+        cfg.bottleneck_bps = 1e6;
+        cfg.seed = pt.seed;
+        exp::testbed d(exp::dumbbell(cfg));
 
-  const sim::time_ns horizon = sim::seconds(flags.f64("duration"));
-  d.run_until(horizon);
+        exp::receiver_options attacker;
+        attacker.inflate = true;
+        attacker.inflate_at = sim::seconds(inflate_at_s);
+        attacker.attack_keys = core::misbehaving_sigma_strategy::key_mode::guess;
+        auto& f1 = d.add_flid_session(exp::flid_mode::ds, {attacker});
+        auto& f2 = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+        auto& t1 = d.add_tcp_flow();
+        auto& t2 = d.add_tcp_flow();
+
+        const sim::time_ns horizon = sim::seconds(duration);
+        d.run_until(horizon);
+
+        const sim::time_ns t0 = attacker.inflate_at + sim::seconds(10.0);
+        exp::sweep_row row;
+        row.label = "fig07";
+        row.trace("F1_kbps", f1.receiver().monitor().series_kbps());
+        row.trace("F2_kbps", f2.receiver().monitor().series_kbps());
+        row.trace("T1_kbps", t1.sink->monitor().series_kbps());
+        row.trace("T2_kbps", t2.sink->monitor().series_kbps());
+        const std::array<double, 4> rates = {
+            f1.receiver().monitor().average_kbps(t0, horizon),
+            f2.receiver().monitor().average_kbps(t0, horizon),
+            t1.sink->monitor().average_kbps(t0, horizon),
+            t2.sink->monitor().average_kbps(t0, horizon)};
+        row.value("F1_after", rates[0]);
+        row.value("F2_after", rates[1]);
+        row.value("T1_after", rates[2]);
+        row.value("T2_after", rates[3]);
+        row.value("fairness", sim::jain_fairness_index(rates));
+        row.value("invalid_keys",
+                  static_cast<double>(d.sigma().stats().invalid_keys));
+        return row;
+      });
+  const exp::sweep_row& row = rows.front();
 
   exp::print_series(std::cout, "Fig 7: F1 (misbehaving FLID-DS) Kbps vs s",
-                    f1.receiver().monitor().series_kbps());
+                    *row.trace_of("F1_kbps"));
   exp::print_series(std::cout, "Fig 7: F2 (FLID-DS) Kbps vs s",
-                    f2.receiver().monitor().series_kbps());
+                    *row.trace_of("F2_kbps"));
   exp::print_series(std::cout, "Fig 7: T1 (TCP) Kbps vs s",
-                    t1.sink->monitor().series_kbps());
+                    *row.trace_of("T1_kbps"));
   exp::print_series(std::cout, "Fig 7: T2 (TCP) Kbps vs s",
-                    t2.sink->monitor().series_kbps());
+                    *row.trace_of("T2_kbps"));
 
-  const sim::time_ns t0 = attacker.inflate_at + sim::seconds(10.0);
-  const std::array<double, 4> rates = {
-      f1.receiver().monitor().average_kbps(t0, horizon),
-      f2.receiver().monitor().average_kbps(t0, horizon),
-      t1.sink->monitor().average_kbps(t0, horizon),
-      t2.sink->monitor().average_kbps(t0, horizon)};
   exp::print_check(std::cout, "F1 after attempting to inflate",
-                   "fair (~250, attack has no effect)", rates[0], "Kbps");
-  exp::print_check(std::cout, "F2 after the attack", "fair (~250)", rates[1],
+                   "fair (~250, attack has no effect)", row.value_of("F1_after"),
                    "Kbps");
+  exp::print_check(std::cout, "F2 after the attack", "fair (~250)",
+                   row.value_of("F2_after"), "Kbps");
   exp::print_check(std::cout, "Jain fairness across F1,F2,T1,T2",
-                   "high (allocation preserved)",
-                   sim::jain_fairness_index(rates), "");
+                   "high (allocation preserved)", row.value_of("fairness"), "");
   exp::print_check(std::cout, "invalid keys rejected by SIGMA", "> 0",
-                   static_cast<double>(d.sigma().stats().invalid_keys), "");
+                   row.value_of("invalid_keys"), "");
+  exp::maybe_write_json(flags, "fig07_protection", rows);
   return 0;
 }

@@ -5,10 +5,13 @@
 // Bottleneck capacity keeps the 250 Kbps fair share per session. The paper's
 // claim: the multicast allocation depends on the session count, but FLID-DL
 // and FLID-DS receivers see similar averages.
+#include <cmath>
 #include <iostream>
 #include <vector>
 
+#include "crypto/prng.h"
 #include "exp/report.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "util/flags.h"
 
@@ -51,24 +54,36 @@ int main(int argc, char** argv) {
   flags.add("max_sessions", "18", "largest multicast session count");
   flags.add("seed", "13", "simulation seed");
   flags.add("repeats", "3", "seeds averaged per data point");
+  exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const double duration = flags.f64("duration");
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
   const int repeats = static_cast<int>(flags.i64("repeats"));
-  exp::series dl_avg, ds_avg;
+  const auto opts = exp::sweep_options_from_flags(
+      flags, static_cast<std::uint64_t>(flags.i64("seed")));
+  std::vector<double> counts;
   for (int n = 1; n <= flags.i64("max_sessions"); n += (n == 1 ? 1 : 2)) {
-    double dl = 0.0;
-    double ds = 0.0;
-    for (int rep = 0; rep < repeats; ++rep) {
-      dl += run(exp::flid_mode::dl, n, duration,
-                seed + static_cast<std::uint64_t>(n + 1000 * rep));
-      ds += run(exp::flid_mode::ds, n, duration,
-                seed + static_cast<std::uint64_t>(100 + n + 1000 * rep));
-    }
-    dl_avg.emplace_back(n, dl / repeats);
-    ds_avg.emplace_back(n, ds / repeats);
+    counts.push_back(n);
   }
+
+  const auto rows = exp::run_sweep(
+      counts, opts, [&](const exp::sweep_point& pt) {
+        const int n = static_cast<int>(pt.x);
+        double dl = 0.0;
+        double ds = 0.0;
+        std::uint64_t sm = pt.seed;  // per-repeat sub-streams of this point
+        for (int rep = 0; rep < repeats; ++rep) {
+          dl += run(exp::flid_mode::dl, n, duration, crypto::splitmix64(sm));
+          ds += run(exp::flid_mode::ds, n, duration, crypto::splitmix64(sm));
+        }
+        exp::sweep_row row;
+        row.value("dl_avg", dl / repeats);
+        row.value("ds_avg", ds / repeats);
+        return row;
+      });
+
+  const exp::series dl_avg = exp::column(rows, "dl_avg");
+  const exp::series ds_avg = exp::column(rows, "ds_avg");
   exp::print_columns(
       std::cout,
       "Fig 8(d): average multicast throughput (Kbps) vs #sessions, with n TCP + on-off CBR",
@@ -82,5 +97,6 @@ int main(int argc, char** argv) {
   }
   exp::print_check(std::cout, "max relative DL-vs-DS average gap",
                    "small (curves overlap)", worst_gap, "fraction");
+  exp::maybe_write_json(flags, "fig08d_average_with_cross", rows);
   return 0;
 }

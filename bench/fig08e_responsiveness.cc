@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "exp/report.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "util/flags.h"
 
@@ -50,28 +51,41 @@ int main(int argc, char** argv) {
   util::flag_set flags("Figure 8(e): responsiveness to an 800 Kbps CBR burst");
   flags.add("duration", "100", "experiment length, seconds");
   flags.add("seed", "17", "simulation seed");
+  exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const double duration = flags.f64("duration");
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
-  const exp::series dl = run(exp::flid_mode::dl, duration, seed);
-  const exp::series ds = run(exp::flid_mode::ds, duration, seed + 1);
+  const auto opts = exp::sweep_options_from_flags(
+      flags, static_cast<std::uint64_t>(flags.i64("seed")));
 
-  exp::print_series(std::cout, "Fig 8(e): FLID-DL Kbps vs s (burst 45-75 s)",
-                    dl, 30.0, duration);
-  exp::print_series(std::cout, "Fig 8(e): FLID-DS Kbps vs s (burst 45-75 s)",
-                    ds, 30.0, duration);
+  // Grid: one point per protocol mode (x = 0 DL, x = 1 DS).
+  const auto rows = exp::run_sweep(
+      {0.0, 1.0}, opts, [&](const exp::sweep_point& pt) {
+        const auto mode =
+            pt.index == 0 ? exp::flid_mode::dl : exp::flid_mode::ds;
+        exp::series s = run(mode, duration, pt.seed);
+        exp::sweep_row row;
+        row.label = pt.index == 0 ? "FLID-DL" : "FLID-DS";
+        row.value("before", window_avg(s, 35.0, 44.0));
+        row.value("during", window_avg(s, 55.0, 74.0));
+        row.value("after", window_avg(s, 85.0, duration));
+        row.trace("kbps", std::move(s));
+        return row;
+      });
 
-  for (const auto& [name, s] : {std::pair{"FLID-DL", &dl}, {"FLID-DS", &ds}}) {
-    const double before = window_avg(*s, 35.0, 44.0);
-    const double during = window_avg(*s, 55.0, 74.0);
-    const double after = window_avg(*s, 85.0, duration);
-    exp::print_check(std::cout, std::string(name) + " before burst",
-                     "high (~1000)", before, "Kbps");
-    exp::print_check(std::cout, std::string(name) + " during burst",
-                     "sheds layers (~300-400)", during, "Kbps");
-    exp::print_check(std::cout, std::string(name) + " after burst",
-                     "recovers", after, "Kbps");
+  for (const auto& row : rows) {
+    exp::print_series(std::cout,
+                      "Fig 8(e): " + row.label + " Kbps vs s (burst 45-75 s)",
+                      *row.trace_of("kbps"), 30.0, duration);
   }
+  for (const auto& row : rows) {
+    exp::print_check(std::cout, row.label + " before burst", "high (~1000)",
+                     row.value_of("before"), "Kbps");
+    exp::print_check(std::cout, row.label + " during burst",
+                     "sheds layers (~300-400)", row.value_of("during"), "Kbps");
+    exp::print_check(std::cout, row.label + " after burst", "recovers",
+                     row.value_of("after"), "Kbps");
+  }
+  exp::maybe_write_json(flags, "fig08e_responsiveness", rows);
   return 0;
 }

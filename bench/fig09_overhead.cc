@@ -9,12 +9,14 @@
 //
 // Analytic values use the closed forms of section 5.4 with f_g, z, h
 // observed from a simulation run; measured values count actual field and
-// control-packet bits on the wire.
+// control-packet bits on the wire. Both sub-sweeps run as one exp::sweep
+// grid (points 0-9 are panel a, the rest panel b).
 #include <cmath>
 #include <iostream>
 
 #include "core/overhead.h"
 #include "exp/report.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "util/flags.h"
 
@@ -22,15 +24,15 @@ using namespace mcc;
 
 namespace {
 
-struct point {
+struct point_result {
   double analytic_delta;
   double analytic_sigma;
   double measured_delta;
   double measured_sigma;
 };
 
-point run(int num_groups, double slot_seconds, double duration_s,
-          std::uint64_t seed) {
+point_result run(int num_groups, double slot_seconds, double duration_s,
+                 std::uint64_t seed) {
   exp::dumbbell_config cfg;
   cfg.bottleneck_bps = 10e6;  // uncongested: overhead is a sender property
   cfg.seed = seed;
@@ -71,7 +73,7 @@ point run(int num_groups, double slot_seconds, double duration_s,
         static_cast<double>(std::max<std::uint64_t>(snd.slots, 1));
   }
 
-  point out{};
+  point_result out{};
   out.analytic_delta = core::delta_overhead(p);
   out.analytic_sigma = core::sigma_overhead(p);
 
@@ -97,37 +99,68 @@ int main(int argc, char** argv) {
   util::flag_set flags("Figure 9: DELTA/SIGMA communication overhead");
   flags.add("duration", "30", "seconds simulated per point");
   flags.add("seed", "29", "simulation seed");
+  exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
   const double duration = flags.f64("duration");
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const auto opts = exp::sweep_options_from_flags(
+      flags, static_cast<std::uint64_t>(flags.i64("seed")));
+
+  // One combined grid: panel (a) sweeps N at t = 250 ms, panel (b) sweeps
+  // the slot duration at N = 10.
+  std::vector<double> xs;
+  std::size_t panel_a_points = 0;
+  for (int n = 2; n <= 20; n += 2) {
+    xs.push_back(n);
+    ++panel_a_points;
+  }
+  for (double t = 0.2; t <= 1.001; t += 0.1) xs.push_back(t);
+
+  const auto rows = exp::run_sweep(
+      xs, opts, [&](const exp::sweep_point& pt) {
+        const bool panel_a = pt.index < panel_a_points;
+        const int n = panel_a ? static_cast<int>(pt.x) : 10;
+        const double slot_s = panel_a ? 0.25 : pt.x;
+        const point_result r = run(n, slot_s, duration, pt.seed);
+        exp::sweep_row row;
+        row.label = panel_a ? "a" : "b";
+        row.value("analytic_delta", r.analytic_delta);
+        row.value("analytic_sigma", r.analytic_sigma);
+        row.value("measured_delta", r.measured_delta);
+        row.value("measured_sigma", r.measured_sigma);
+        return row;
+      });
 
   std::cout << "# Fig 9(a): overhead (percent) vs number of groups, t = 250 ms\n"
                "# N  DELTA(analytic)  SIGMA(analytic)  DELTA(measured)  SIGMA(measured)\n";
   double worst_delta = 0.0;
   double worst_sigma = 0.0;
-  for (int n = 2; n <= 20; n += 2) {
-    const point p = run(n, 0.25, duration, seed + static_cast<std::uint64_t>(n));
-    std::printf("%d %.4f %.4f %.4f %.4f\n", n, 100 * p.analytic_delta,
-                100 * p.analytic_sigma, 100 * p.measured_delta,
-                100 * p.measured_sigma);
-    worst_delta = std::max(worst_delta, p.analytic_delta);
-    worst_sigma = std::max(worst_sigma, p.analytic_sigma);
+  for (const auto& row : rows) {
+    if (row.label != "a") continue;
+    std::printf("%d %.4f %.4f %.4f %.4f\n", static_cast<int>(row.x),
+                100 * row.value_of("analytic_delta"),
+                100 * row.value_of("analytic_sigma"),
+                100 * row.value_of("measured_delta"),
+                100 * row.value_of("measured_sigma"));
+    worst_delta = std::max(worst_delta, row.value_of("analytic_delta"));
+    worst_sigma = std::max(worst_sigma, row.value_of("analytic_sigma"));
   }
   std::cout << "\n# Fig 9(b): overhead (percent) vs slot duration, N = 10\n"
                "# t(s)  DELTA(analytic)  SIGMA(analytic)  DELTA(measured)  SIGMA(measured)\n";
-  for (double t = 0.2; t <= 1.001; t += 0.1) {
-    const point p = run(10, t, duration,
-                        seed + 1000 + static_cast<std::uint64_t>(t * 100));
-    std::printf("%.1f %.4f %.4f %.4f %.4f\n", t, 100 * p.analytic_delta,
-                100 * p.analytic_sigma, 100 * p.measured_delta,
-                100 * p.measured_sigma);
-    worst_delta = std::max(worst_delta, p.analytic_delta);
-    worst_sigma = std::max(worst_sigma, p.analytic_sigma);
+  for (const auto& row : rows) {
+    if (row.label != "b") continue;
+    std::printf("%.1f %.4f %.4f %.4f %.4f\n", row.x,
+                100 * row.value_of("analytic_delta"),
+                100 * row.value_of("analytic_sigma"),
+                100 * row.value_of("measured_delta"),
+                100 * row.value_of("measured_sigma"));
+    worst_delta = std::max(worst_delta, row.value_of("analytic_delta"));
+    worst_sigma = std::max(worst_sigma, row.value_of("analytic_sigma"));
   }
   std::cout << "\n";
   exp::print_check(std::cout, "DELTA overhead across both sweeps",
                    "about 0.8%", 100 * worst_delta, "% (max)");
   exp::print_check(std::cout, "SIGMA overhead across both sweeps",
                    "under 0.6%", 100 * worst_sigma, "% (max)");
+  exp::maybe_write_json(flags, "fig09_overhead", rows);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "exp/report.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "sim/stats.h"
 #include "util/flags.h"
@@ -26,18 +27,8 @@ using namespace mcc;
 
 namespace {
 
-struct world {
-  double honest_near_kbps = 0.0;
-  double attacker_far_kbps = 0.0;
-  double tcp_full_path_kbps = 0.0;
-  double tcp_seg1_kbps = 0.0;
-  double tcp_seg2_kbps = 0.0;
-  double fairness = 0.0;
-  std::uint64_t invalid_keys_far = 0;
-};
-
-world run(exp::flid_mode mode, double duration_s, double inflate_at_s,
-          std::uint64_t seed) {
+exp::sweep_row run(exp::flid_mode mode, double duration_s, double inflate_at_s,
+                   std::uint64_t seed) {
   exp::parking_lot_config cfg;
   cfg.bottlenecks = 2;
   cfg.bottleneck_bps = 1e6;
@@ -51,8 +42,7 @@ world run(exp::flid_mode mode, double duration_s, double inflate_at_s,
   attacker_far.inflate = true;
   attacker_far.inflate_at = sim::seconds(inflate_at_s);
   attacker_far.inflate_level = 0;  // all groups: the strongest attack
-  auto& session =
-      d.add_flid_session(mode, {honest_near, attacker_far});
+  auto& session = d.add_flid_session(mode, {honest_near, attacker_far});
 
   // TCP over the whole path plus one flow per segment, so each bottleneck
   // has its own unicast victim.
@@ -69,32 +59,38 @@ world run(exp::flid_mode mode, double duration_s, double inflate_at_s,
   const sim::time_ns horizon = sim::seconds(duration_s);
   d.run_until(horizon);
 
-  world w;
+  exp::sweep_row row;
   const sim::time_ns t0 = sim::seconds(inflate_at_s + 10.0);
-  w.honest_near_kbps = session.receiver(0).monitor().average_kbps(t0, horizon);
-  w.attacker_far_kbps =
+  const double honest = session.receiver(0).monitor().average_kbps(t0, horizon);
+  const double attacker =
       session.receiver(1).monitor().average_kbps(t0, horizon);
-  w.tcp_full_path_kbps = tcp_full.sink->monitor().average_kbps(t0, horizon);
-  w.tcp_seg1_kbps = tcp_seg1.sink->monitor().average_kbps(t0, horizon);
-  w.tcp_seg2_kbps = tcp_seg2.sink->monitor().average_kbps(t0, horizon);
-  const std::array<double, 4> rates = {w.honest_near_kbps, w.attacker_far_kbps,
-                                       w.tcp_full_path_kbps, w.tcp_seg2_kbps};
-  w.fairness = sim::jain_fairness_index(rates);
-  w.invalid_keys_far = d.sigma("r2").stats().invalid_keys;
-  return w;
+  const double tcp_full_kbps = tcp_full.sink->monitor().average_kbps(t0, horizon);
+  const double tcp_seg2_kbps = tcp_seg2.sink->monitor().average_kbps(t0, horizon);
+  row.value("honest_near_kbps", honest);
+  row.value("attacker_far_kbps", attacker);
+  row.value("tcp_full_path_kbps", tcp_full_kbps);
+  row.value("tcp_seg1_kbps", tcp_seg1.sink->monitor().average_kbps(t0, horizon));
+  row.value("tcp_seg2_kbps", tcp_seg2_kbps);
+  const std::array<double, 4> rates = {honest, attacker, tcp_full_kbps,
+                                       tcp_seg2_kbps};
+  row.value("fairness", sim::jain_fairness_index(rates));
+  row.value("invalid_keys_far",
+            static_cast<double>(d.sigma("r2").stats().invalid_keys));
+  return row;
 }
 
-void print(const char* title, const world& w) {
+void print(const char* title, const exp::sweep_row& w) {
   std::cout << "# " << title << "\n";
   std::printf("honest (behind bottleneck 1)   : %7.1f Kbps\n",
-              w.honest_near_kbps);
+              w.value_of("honest_near_kbps"));
   std::printf("attacker (behind bottleneck 2) : %7.1f Kbps\n",
-              w.attacker_far_kbps);
+              w.value_of("attacker_far_kbps"));
   std::printf("TCP r0->r2 (both bottlenecks)  : %7.1f Kbps\n",
-              w.tcp_full_path_kbps);
+              w.value_of("tcp_full_path_kbps"));
   std::printf("TCP r0->r1 / r1->r2            : %7.1f / %7.1f Kbps\n",
-              w.tcp_seg1_kbps, w.tcp_seg2_kbps);
-  std::printf("fairness index                 : %7.2f\n\n", w.fairness);
+              w.value_of("tcp_seg1_kbps"), w.value_of("tcp_seg2_kbps"));
+  std::printf("fairness index                 : %7.2f\n\n",
+              w.value_of("fairness"));
 }
 
 }  // namespace
@@ -105,26 +101,38 @@ int main(int argc, char** argv) {
   flags.add("duration", "200", "experiment length, seconds");
   flags.add("inflate_at", "100", "attack start, seconds");
   flags.add("seed", "47", "simulation seed");
+  exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const double duration = flags.f64("duration");
   const double inflate_at = flags.f64("inflate_at");
-  const auto seed = static_cast<std::uint64_t>(flags.i64("seed"));
+  const auto opts = exp::sweep_options_from_flags(
+      flags, static_cast<std::uint64_t>(flags.i64("seed")));
 
-  const world dl = run(exp::flid_mode::dl, duration, inflate_at, seed);
-  const world ds = run(exp::flid_mode::ds, duration, inflate_at, seed + 1);
+  // Grid: one point per protocol mode (x = 0 DL, x = 1 DS).
+  const auto rows = exp::run_sweep(
+      {0.0, 1.0}, opts, [&](const exp::sweep_point& pt) {
+        const auto mode =
+            pt.index == 0 ? exp::flid_mode::dl : exp::flid_mode::ds;
+        exp::sweep_row row = run(mode, duration, inflate_at, pt.seed);
+        row.label = pt.index == 0 ? "FLID-DL" : "FLID-DS";
+        return row;
+      });
+  const exp::sweep_row& dl = rows[0];
+  const exp::sweep_row& ds = rows[1];
   print("FLID-DL over IGMP (unprotected)", dl);
   print("FLID-DS = FLID-DL + DELTA + SIGMA", ds);
 
   exp::print_check(std::cout, "DL: attacker grabs the shared tree",
-                   "inflated (>450)", dl.attacker_far_kbps, "Kbps");
+                   "inflated (>450)", dl.value_of("attacker_far_kbps"), "Kbps");
   exp::print_check(std::cout, "DS: attacker contained at its own edge",
-                   "fair (<450)", ds.attacker_far_kbps, "Kbps");
+                   "fair (<450)", ds.value_of("attacker_far_kbps"), "Kbps");
   exp::print_check(std::cout, "DS: honest receiver keeps its segment",
-                   "alive (>150)", ds.honest_near_kbps, "Kbps");
-  exp::print_check(std::cout, "DS beats DL on fairness",
-                   "higher is better", ds.fairness - dl.fairness, "delta");
+                   "alive (>150)", ds.value_of("honest_near_kbps"), "Kbps");
+  exp::print_check(std::cout, "DS beats DL on fairness", "higher is better",
+                   ds.value_of("fairness") - dl.value_of("fairness"), "delta");
   exp::print_check(std::cout, "invalid keys rejected at far edge (DS)", "> 0",
-                   static_cast<double>(ds.invalid_keys_far), "");
+                   ds.value_of("invalid_keys_far"), "");
+  exp::maybe_write_json(flags, "fig_multibottleneck", rows);
   return 0;
 }

@@ -1,8 +1,11 @@
 // Microbenchmarks for the simulator substrate: event scheduling throughput
-// and end-to-end packet forwarding cost, plus a whole-scenario pps figure.
+// (events/sec), multicast fan-out cost (packets/sec), and whole-scenario
+// figures. items_per_second in the output is the headline number for the
+// first two.
 #include <benchmark/benchmark.h>
 
 #include "exp/testbed.h"
+#include "sim/network.h"
 #include "sim/scheduler.h"
 
 using namespace mcc;
@@ -21,6 +24,27 @@ static void bm_schedule_and_run(benchmark::State& state) {
 }
 BENCHMARK(bm_schedule_and_run)->Arg(1000)->Arg(100000);
 
+static void bm_schedule_cancel_mix(benchmark::State& state) {
+  // Timer-heavy workload: every event arms a timer that is cancelled before
+  // it fires (the TCP RTO / FLID fallback pattern). The victim is scheduled
+  // two ticks later than its canceller so the cancel always hits a pending
+  // event, never the stale-handle no-op path.
+  for (auto _ : state) {
+    sim::scheduler s;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const sim::time_ns t = 3 * sim::microseconds(i);
+      sim::event_handle h = s.at(t + 2, [] {});
+      s.at(t, [h]() mutable { h.cancel(); });
+      s.at(t + 1, [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(bm_schedule_cancel_mix)->Arg(30000);
+
 static void bm_event_cancellation(benchmark::State& state) {
   for (auto _ : state) {
     sim::scheduler s;
@@ -36,6 +60,57 @@ static void bm_event_cancellation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(bm_event_cancellation);
+
+static void bm_multicast_fanout(benchmark::State& state) {
+  // Cost of one router fanning a multicast data packet out to N receivers.
+  // Packets carry a threshold-DELTA style share payload, so the per-branch
+  // copy cost of the header body is part of what is measured.
+  const int receivers = static_cast<int>(state.range(0));
+  sim::scheduler s;
+  sim::network net(s);
+  const sim::group_addr group{1};
+  const sim::node_id src = net.add_host("src");
+  const sim::node_id rtr = net.add_router("rtr");
+  sim::link_config fast;
+  fast.bps = 1e12;
+  fast.delay = sim::microseconds(1);
+  auto [up, down] = net.connect(src, rtr, fast);
+  (void)down;
+  (void)up;
+  for (int i = 0; i < receivers; ++i) {
+    const sim::node_id h = net.add_host("h" + std::to_string(i));
+    auto [fwd, rev] = net.connect(rtr, h, fast);
+    (void)rev;
+    net.get(h)->host_join(group);
+    net.get(rtr)->graft(group, fwd);
+  }
+  net.finalize_routing();
+
+  constexpr int kBatch = 64;
+  sim::flid_data hdr;
+  hdr.session_id = 1;
+  hdr.group_index = 1;
+  std::vector<sim::level_share> shares;
+  for (int g = 1; g <= 10; ++g) {
+    shares.push_back(sim::level_share{g, 7u, 11u});
+  }
+  hdr.level_shares = shares;
+
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sim::packet p;
+      p.size_bytes = 576;
+      p.dst = sim::dest::to_group(group);
+      p.hdr = hdr;
+      net.get(src)->send(std::move(p));
+    }
+    s.run();
+    benchmark::DoNotOptimize(net.get(rtr)->stats().forwarded_multicast);
+  }
+  // One item = one fanned-out packet copy delivered to a receiver.
+  state.SetItemsProcessed(state.iterations() * kBatch * receivers);
+}
+BENCHMARK(bm_multicast_fanout)->Arg(4)->Arg(32)->Arg(256);
 
 static void bm_tcp_over_dumbbell(benchmark::State& state) {
   // Cost of simulating one second of a saturated 10 Mbps TCP transfer.

@@ -81,11 +81,13 @@ void tlm_delta_sender::fill_fields(std::int64_t slot, int group,
       offset_[static_cast<std::size_t>(group)] + seq_in_slot + 1);
   // One share for every level this packet belongs to (levels group..N) —
   // the per-packet cost of threshold DELTA.
-  hdr.level_shares.clear();
+  std::vector<sim::level_share> shares;
+  shares.reserve(static_cast<std::size_t>(cfg_.num_levels - group + 1));
   for (int g = group; g <= cfg_.num_levels; ++g) {
     const auto& poly = poly_[static_cast<std::size_t>(g)];
-    hdr.level_shares.push_back(sim::level_share{g, x, poly->eval(x)});
+    shares.push_back(sim::level_share{g, x, poly->eval(x)});
   }
+  hdr.level_shares = std::move(shares);
 }
 
 std::optional<crypto::group_key> tlm_delta_sender::key_for(

@@ -1,0 +1,195 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+#include "crypto/prng.h"
+#include "util/require.h"
+
+namespace mcc::exp {
+
+std::uint64_t point_seed(std::uint64_t base_seed, std::size_t index) {
+  // Two splitmix64 steps over a mix of base and index: adjacent indices give
+  // uncorrelated streams, and the result depends on nothing else.
+  std::uint64_t state =
+      base_seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1));
+  (void)crypto::splitmix64(state);
+  return crypto::splitmix64(state);
+}
+
+void add_sweep_flags(util::flag_set& flags) {
+  flags.add("jobs", "1", "worker threads for the parameter grid");
+  flags.add("json", "", "also write machine-readable results to this file");
+}
+
+sweep_options sweep_options_from_flags(const util::flag_set& flags,
+                                       std::uint64_t base_seed) {
+  sweep_options opts;
+  opts.jobs = static_cast<int>(flags.i64("jobs"));
+  opts.base_seed = base_seed;
+  return opts;
+}
+
+double sweep_row::value_of(const std::string& name) const {
+  for (const auto& [n, v] : values) {
+    if (n == name) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const series* sweep_row::trace_of(const std::string& name) const {
+  for (const auto& [n, s] : traces) {
+    if (n == name) return &s;
+  }
+  return nullptr;
+}
+
+series column(const std::vector<sweep_row>& rows, const std::string& name) {
+  series out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.emplace_back(row.x, row.value_of(name));
+  return out;
+}
+
+std::vector<sweep_row> run_sweep(
+    const std::vector<double>& xs, const sweep_options& opts,
+    const std::function<sweep_row(const sweep_point&)>& fn) {
+  std::vector<sweep_row> rows(xs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      // Stop claiming points once any point has failed: grid points can take
+      // minutes each, and the first error decides the run's fate anyway.
+      if (i >= xs.size() || failed.load(std::memory_order_relaxed)) return;
+      sweep_point pt;
+      pt.index = i;
+      pt.x = xs[i];
+      pt.seed = point_seed(opts.base_seed, i);
+      try {
+        sweep_row row = fn(pt);
+        if (std::isnan(row.x)) row.x = pt.x;
+        rows[i] = std::move(row);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int jobs =
+      std::min<int>(std::max(1, opts.jobs), static_cast<int>(std::max<std::size_t>(xs.size(), 1)));
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return rows;
+}
+
+namespace {
+
+void json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+  } else {
+    os << "null";  // JSON has no NaN/Inf
+  }
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const std::string& bench,
+                const std::vector<sweep_row>& rows) {
+  os << "{\n  \"bench\": ";
+  json_escaped(os, bench);
+  os << ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const sweep_row& row = rows[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"x\": ";
+    json_number(os, row.x);
+    if (!row.label.empty()) {
+      os << ", \"label\": ";
+      json_escaped(os, row.label);
+    }
+    os << ", \"values\": {";
+    for (std::size_t v = 0; v < row.values.size(); ++v) {
+      if (v > 0) os << ", ";
+      json_escaped(os, row.values[v].first);
+      os << ": ";
+      json_number(os, row.values[v].second);
+    }
+    os << "}, \"traces\": {";
+    for (std::size_t t = 0; t < row.traces.size(); ++t) {
+      if (t > 0) os << ", ";
+      json_escaped(os, row.traces[t].first);
+      os << ": [";
+      const series& s = row.traces[t].second;
+      for (std::size_t p = 0; p < s.size(); ++p) {
+        if (p > 0) os << ", ";
+        os << '[';
+        json_number(os, s[p].first);
+        os << ", ";
+        json_number(os, s[p].second);
+        os << ']';
+      }
+      os << ']';
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+void maybe_write_json(const util::flag_set& flags, const std::string& bench,
+                      const std::vector<sweep_row>& rows) {
+  const std::string path = flags.str("json");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  util::require(out.good(), "sweep: cannot open --json file", path);
+  write_json(out, bench, rows);
+  out.flush();
+  util::require(out.good(), "sweep: write to --json file failed", path);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+}  // namespace mcc::exp

@@ -1,0 +1,105 @@
+// Parameter-grid sweep runner: the execution engine behind every figure and
+// ablation bench.
+//
+// A sweep declares its grid as a list of x coordinates (session counts, slot
+// durations, protocol modes, ...) and a point function that builds a fully
+// isolated simulation world — its own scheduler, network, and PRNG streams —
+// and returns a typed result row. Points run on `--jobs` worker threads;
+// every point's seed is derived only from (base_seed, point index), and rows
+// come back in grid order, so `--jobs N` output is bit-identical to
+// `--jobs 1` (and to any interleaving the OS picks).
+//
+// Rows carry named scalars (table columns) and named series (trajectories);
+// the same rows print as the existing gnuplot tables via exp::report and
+// serialize as machine-readable BENCH_*.json documents via `--json`.
+#ifndef MCC_EXP_SWEEP_H
+#define MCC_EXP_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/report.h"
+#include "util/flags.h"
+
+namespace mcc::exp {
+
+/// One grid point of a parameter sweep.
+struct sweep_point {
+  std::size_t index = 0;   // position in the declared grid
+  double x = 0.0;          // the point's grid coordinate
+  std::uint64_t seed = 0;  // derived from (base_seed, index); jobs-invariant
+};
+
+/// Deterministic per-point seed: a splitmix64 mix of the base seed and the
+/// point index. Depends on nothing else, so parallel and serial runs agree.
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t base_seed,
+                                       std::size_t index);
+
+struct sweep_options {
+  int jobs = 1;  // worker threads (values < 1 behave like 1)
+  std::uint64_t base_seed = 1;
+};
+
+/// Registers the sweep-standard flags on a bench's flag set:
+///   --jobs N        worker threads for the parameter grid
+///   --json PATH     also write machine-readable results to PATH
+void add_sweep_flags(util::flag_set& flags);
+
+/// Reads the standard flags back; `base_seed` is the bench's own seed flag.
+[[nodiscard]] sweep_options sweep_options_from_flags(
+    const util::flag_set& flags, std::uint64_t base_seed);
+
+/// One grid point's reported results: named scalar values plus named series.
+struct sweep_row {
+  /// Report coordinate. Left NaN (the default), run_sweep fills in the
+  /// point's grid coordinate; set explicitly (any finite value, including
+  /// 0.0) to remap encoded grid coordinates to display values.
+  double x = std::numeric_limits<double>::quiet_NaN();
+  std::string label;  // optional human-readable point name
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<std::pair<std::string, series>> traces;
+
+  sweep_row& value(std::string name, double v) {
+    values.emplace_back(std::move(name), v);
+    return *this;
+  }
+  sweep_row& trace(std::string name, series s) {
+    traces.emplace_back(std::move(name), std::move(s));
+    return *this;
+  }
+  /// Scalar lookup; NaN when the row has no value of that name.
+  [[nodiscard]] double value_of(const std::string& name) const;
+  /// Series lookup; nullptr when absent.
+  [[nodiscard]] const series* trace_of(const std::string& name) const;
+};
+
+/// Extracts the (x, named value) series across rows, for print_columns.
+[[nodiscard]] series column(const std::vector<sweep_row>& rows,
+                            const std::string& name);
+
+/// Runs `fn` once per grid point on opts.jobs worker threads. Results return
+/// in grid order; a row whose x was left unset inherits the point's x. The
+/// first exception thrown by any point is rethrown after the workers join;
+/// points not yet started when a point fails are abandoned.
+std::vector<sweep_row> run_sweep(
+    const std::vector<double>& xs, const sweep_options& opts,
+    const std::function<sweep_row(const sweep_point&)>& fn);
+
+/// Writes rows as a machine-readable JSON document ("BENCH_<name>.json").
+void write_json(std::ostream& os, const std::string& bench,
+                const std::vector<sweep_row>& rows);
+
+/// Honors a bench's --json flag: empty value = no-op, otherwise writes the
+/// JSON document to the named file (stderr note on success, throws on I/O
+/// failure).
+void maybe_write_json(const util::flag_set& flags, const std::string& bench,
+                      const std::vector<sweep_row>& rows);
+
+}  // namespace mcc::exp
+
+#endif  // MCC_EXP_SWEEP_H

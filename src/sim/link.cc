@@ -1,5 +1,7 @@
 #include "sim/link.h"
 
+#include <algorithm>
+
 #include "sim/node.h"
 
 namespace mcc::sim {
@@ -23,6 +25,7 @@ link::link(scheduler& sched, node* from, node* to, const link_config& cfg)
 void link::transmit(packet p) {
   if (queued_bytes_ + p.size_bytes > cfg_.queue_capacity_bytes) {
     ++stats_.dropped;
+    stats_.bytes_dropped += p.size_bytes;
     return;
   }
   if (cfg_.discipline == qdisc::ecn_threshold && p.ecn_capable &&
@@ -34,6 +37,7 @@ void link::transmit(packet p) {
   }
   ++stats_.enqueued;
   queued_bytes_ += p.size_bytes;
+  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
   queue_.push_back(std::move(p));
   if (!busy_) start_transmission();
 }
@@ -41,24 +45,41 @@ void link::transmit(packet p) {
 void link::start_transmission() {
   util::require(!queue_.empty(), "link: transmission with empty queue");
   busy_ = true;
-  packet p = std::move(queue_.front());
+  serializing_ = std::move(queue_.front());
   queue_.pop_front();
-  queued_bytes_ -= p.size_bytes;
-  const time_ns tx = transmission_time(p.size_bytes, cfg_.bps);
-  // After serialization completes, the packet propagates while the link head
-  // becomes free for the next packet.
-  sched_.after(tx, [this, p = std::move(p)]() mutable {
-    ++stats_.delivered;
-    stats_.bytes_delivered += p.size_bytes;
-    sched_.after(cfg_.delay, [this, p = std::move(p)]() mutable {
-      to_->receive(std::move(p), this);
-    });
-    if (!queue_.empty()) {
-      start_transmission();
-    } else {
-      busy_ = false;
-    }
-  });
+  queued_bytes_ -= serializing_.size_bytes;
+  const time_ns tx = transmission_time(serializing_.size_bytes, cfg_.bps);
+  sched_.after(tx, [this] { on_serialized(); });
+}
+
+void link::on_serialized() {
+  ++stats_.delivered;
+  stats_.bytes_delivered += serializing_.size_bytes;
+  // The packet starts propagating while the link head becomes free for the
+  // next packet.
+  flying_.push_back(
+      in_flight{sched_.now() + cfg_.delay, std::move(serializing_)});
+  if (!delivery_armed_) {
+    delivery_armed_ = true;
+    sched_.at(flying_.back().arrive_at, [this] { on_deliver(); });
+  }
+  if (!queue_.empty()) {
+    start_transmission();
+  } else {
+    busy_ = false;
+  }
+}
+
+void link::on_deliver() {
+  util::require(!flying_.empty(), "link: delivery with nothing in flight");
+  packet p = std::move(flying_.front().p);
+  flying_.pop_front();
+  if (!flying_.empty()) {
+    sched_.at(flying_.front().arrive_at, [this] { on_deliver(); });
+  } else {
+    delivery_armed_ = false;
+  }
+  to_->receive(std::move(p), this);
 }
 
 }  // namespace mcc::sim

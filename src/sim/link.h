@@ -1,5 +1,10 @@
 // Unidirectional point-to-point link with serialization delay, propagation
 // delay, and a finite drop-tail queue (optionally ECN threshold marking).
+//
+// The transmit -> propagate chain runs on two per-link pooled timers (one
+// serialization timer, one delivery timer) whose callbacks capture only the
+// link pointer: packets wait in the link's own queues instead of being moved
+// through per-hop closures, so forwarding a packet allocates nothing.
 #ifndef MCC_SIM_LINK_H
 #define MCC_SIM_LINK_H
 
@@ -31,6 +36,19 @@ struct link_config {
   double ecn_threshold_fraction = 0.5;
 };
 
+/// Per-link counters. Byte-level drop accounting and the queue-occupancy
+/// high-watermark let overload scenarios report loss in bytes and peak
+/// buffer pressure, not just packet counts.
+struct link_stats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t ecn_marked = 0;
+  std::int64_t bytes_delivered = 0;
+  std::int64_t bytes_dropped = 0;
+  std::int64_t max_queued_bytes = 0;  // high-watermark of queued_bytes()
+};
+
 /// One direction of a wire. Created in pairs by network::connect().
 class link {
  public:
@@ -49,17 +67,12 @@ class link {
   [[nodiscard]] const link_config& config() const { return cfg_; }
   [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
 
-  struct counters {
-    std::uint64_t enqueued = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t ecn_marked = 0;
-    std::int64_t bytes_delivered = 0;
-  };
-  [[nodiscard]] const counters& stats() const { return stats_; }
+  [[nodiscard]] const link_stats& stats() const { return stats_; }
 
  private:
   void start_transmission();
+  void on_serialized();
+  void on_deliver();
 
   scheduler& sched_;
   node* from_;
@@ -67,9 +80,19 @@ class link {
   link* reverse_ = nullptr;
   link_config cfg_;
   std::deque<packet> queue_;
+  /// Head-of-line packet currently being serialized (valid while busy_).
+  packet serializing_;
+  /// Packets in flight on the wire, FIFO by arrival time (the propagation
+  /// delay is constant per link).
+  struct in_flight {
+    time_ns arrive_at;
+    packet p;
+  };
+  std::deque<in_flight> flying_;
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
-  counters stats_;
+  bool delivery_armed_ = false;
+  link_stats stats_;
 };
 
 }  // namespace mcc::sim

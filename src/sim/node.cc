@@ -97,9 +97,10 @@ void node::deliver_local(const packet& p, link* from) {
 void node::forward(packet p, link* from) {
   const auto* out = oifs(p.dst.group());
   if (out == nullptr) return;
-  // Copy the oif set: policy callbacks may trigger grafts/prunes.
-  const std::vector<link*> targets(out->begin(), out->end());
-  for (link* oif : targets) {
+  // Copy the oif set (into a reused scratch buffer: no per-packet
+  // allocation): policy callbacks may trigger grafts/prunes mid-loop.
+  fanout_scratch_.assign(out->begin(), out->end());
+  for (link* oif : fanout_scratch_) {
     if (oif == nullptr || (from != nullptr && oif == from->reverse())) continue;
     const bool host_facing = oif->to()->is_host();
     if (host_facing) {

@@ -105,6 +105,9 @@ class node {
   std::set<group_addr> local_groups_;
   std::map<group_addr, std::set<link*>> mcast_oifs_;
   std::vector<link*> out_links_;
+  /// Reused multicast fan-out snapshot (packet delivery is never synchronous,
+  /// so forward() cannot re-enter while the loop runs).
+  std::vector<link*> fanout_scratch_;
   counters stats_;
 };
 

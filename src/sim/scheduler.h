@@ -2,13 +2,22 @@
 //
 // Events at equal timestamps fire in scheduling order (FIFO tie-break via a
 // monotone sequence number) so runs are deterministic.
+//
+// The hot path is allocation-lean: callbacks live in a slab of pooled slots
+// (recycled through a free list, addressed by generation-counted handles) and
+// the priority queue orders small POD entries that point into the slab.
+// Scheduling or cancelling an event allocates nothing once the slab and the
+// heap have warmed up; callables that fit event_fn's inline buffer never
+// touch the allocator at all.
 #ifndef MCC_SIM_SCHEDULER_H
 #define MCC_SIM_SCHEDULER_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
@@ -16,104 +25,292 @@
 
 namespace mcc::sim {
 
+/// Move-only type-erased `void()` callable with inline small-buffer storage.
+/// Callables up to `inline_size` bytes are stored in place; larger ones fall
+/// back to one heap allocation. Simulator-internal events (link timers,
+/// protocol slot ticks) capture a pointer and a few scalars and stay inline.
+class event_fn {
+ public:
+  static constexpr std::size_t inline_size = 48;
+
+  event_fn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, event_fn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  event_fn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= inline_size &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = inline_ops<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = heap_ops<D>();
+    }
+  }
+
+  event_fn(event_fn&& other) noexcept { move_from(other); }
+  event_fn& operator=(event_fn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  event_fn(const event_fn&) = delete;
+  event_fn& operator=(const event_fn&) = delete;
+  ~event_fn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct vtable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static const vtable* inline_ops() {
+    static constexpr vtable t{
+        [](void* b) { (*std::launder(reinterpret_cast<D*>(b)))(); },
+        [](void* dst, void* src) {
+          D* s = std::launder(reinterpret_cast<D*>(src));
+          ::new (dst) D(std::move(*s));
+          s->~D();
+        },
+        [](void* b) { std::launder(reinterpret_cast<D*>(b))->~D(); }};
+    return &t;
+  }
+
+  template <typename D>
+  static const vtable* heap_ops() {
+    static constexpr vtable t{
+        [](void* b) { (**std::launder(reinterpret_cast<D**>(b)))(); },
+        [](void* dst, void* src) {
+          ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+        },
+        [](void* b) { delete *std::launder(reinterpret_cast<D**>(b)); }};
+    return &t;
+  }
+
+  void move_from(event_fn& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[inline_size];
+  const vtable* ops_ = nullptr;
+};
+
+namespace detail {
+
+/// One slab slot: the callable plus the generation counter that invalidates
+/// stale handles when the slot is recycled.
+struct event_slot {
+  std::uint32_t gen = 0;
+  bool cancelled = false;
+  event_fn fn;
+};
+
+/// The slab. Handles hold a weak_ptr to it so they stay safe (inert) after
+/// the owning scheduler is destroyed; the weak_ptr copy is a refcount bump,
+/// not an allocation — the control block is one per scheduler, not per event.
+struct event_pool {
+  std::vector<event_slot> slots;
+  std::vector<std::uint32_t> free_list;
+};
+
+}  // namespace detail
+
 /// Handle to a scheduled event; allows cancellation. Default-constructed
-/// handles are inert.
+/// handles are inert, and handles may outlive the scheduler.
 class event_handle {
  public:
   event_handle() = default;
 
   /// Cancels the event if it has not fired yet. Idempotent.
   void cancel() {
-    if (auto rec = record_.lock()) *rec = true;
-    record_.reset();
+    if (auto p = pool_.lock()) {
+      detail::event_slot& s = p->slots[slot_];
+      if (s.gen == gen_) {
+        s.cancelled = true;
+        // Free the captured state now rather than when the dead entry is
+        // eventually popped at its deadline.
+        s.fn.reset();
+      }
+    }
+    pool_.reset();
   }
 
   /// True if the handle still refers to a pending, uncancelled event.
   [[nodiscard]] bool pending() const {
-    auto rec = record_.lock();
-    return rec != nullptr && !*rec;
+    auto p = pool_.lock();
+    if (p == nullptr) return false;
+    const detail::event_slot& s = p->slots[slot_];
+    return s.gen == gen_ && !s.cancelled;
   }
 
  private:
   friend class scheduler;
-  explicit event_handle(std::weak_ptr<bool> record) : record_(std::move(record)) {}
-  std::weak_ptr<bool> record_;  // points at the "cancelled" flag
+  event_handle(std::weak_ptr<detail::event_pool> pool, std::uint32_t slot,
+               std::uint32_t gen)
+      : pool_(std::move(pool)), slot_(slot), gen_(gen) {}
+
+  std::weak_ptr<detail::event_pool> pool_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// The event queue. All simulation modules share one scheduler.
 class scheduler {
  public:
-  scheduler() = default;
+  scheduler() : pool_(std::make_shared<detail::event_pool>()) {
+    pool_->slots.reserve(1024);
+    pool_->free_list.reserve(1024);
+    heap_.reserve(1024);
+  }
   scheduler(const scheduler&) = delete;
   scheduler& operator=(const scheduler&) = delete;
 
   [[nodiscard]] time_ns now() const { return now_; }
 
   /// Schedules `fn` at absolute time `at` (must not be in the past).
-  event_handle at(time_ns when, std::function<void()> fn) {
+  event_handle at(time_ns when, event_fn fn) {
     util::require(when >= now_, "scheduler: event scheduled in the past");
-    auto cancelled = std::make_shared<bool>(false);
-    queue_.push(entry{when, next_seq_++, std::move(fn), cancelled});
-    return event_handle(cancelled);
+    std::uint32_t idx;
+    if (!pool_->free_list.empty()) {
+      idx = pool_->free_list.back();
+      pool_->free_list.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(pool_->slots.size());
+      pool_->slots.emplace_back();
+    }
+    detail::event_slot& slot = pool_->slots[idx];
+    slot.cancelled = false;
+    slot.fn = std::move(fn);
+    heap_push(entry{when, next_seq_++, idx});
+    return event_handle(pool_, idx, slot.gen);
   }
 
   /// Schedules `fn` after a relative delay.
-  event_handle after(time_ns delay, std::function<void()> fn) {
+  event_handle after(time_ns delay, event_fn fn) {
     return at(now_ + delay, std::move(fn));
   }
 
   /// Runs events until the queue drains or simulated time would pass `until`.
   /// Leaves now() == until when the horizon is reached.
   void run_until(time_ns until) {
-    while (!queue_.empty()) {
-      const entry& top = queue_.top();
-      if (top.when > until) break;
-      if (*top.cancelled) {
-        queue_.pop();
-        continue;
-      }
-      entry current = top;  // copy out before pop invalidates the reference
-      queue_.pop();
-      now_ = current.when;
+    while (!heap_.empty()) {
+      if (heap_.front().when > until) break;
+      const entry top = heap_pop();
+      event_fn fn = release_slot(top.slot);
+      if (!fn) continue;  // cancelled
+      now_ = top.when;
       executed_++;
-      current.fn();
+      fn();
     }
     if (now_ < until) now_ = until;
   }
 
   /// Runs until the queue is empty.
   void run() {
-    while (!queue_.empty()) {
-      entry current = queue_.top();
-      queue_.pop();
-      if (*current.cancelled) continue;
-      now_ = current.when;
+    while (!heap_.empty()) {
+      const entry top = heap_pop();
+      event_fn fn = release_slot(top.slot);
+      if (!fn) continue;  // cancelled
+      now_ = top.when;
       executed_++;
-      current.fn();
+      fn();
     }
   }
 
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
   struct entry {
     time_ns when;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
   };
-  struct later {
-    bool operator()(const entry& a, const entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  static bool before(const entry& a, const entry& b) {
+    return a.when < b.when || (a.when == b.when && a.seq < b.seq);
+  }
+
+  // 4-ary min-heap of small POD entries: half the sift depth of a binary
+  // heap and hole-based sifting (no swaps), which is what makes large
+  // pending sets cheap.
+  void heap_push(entry e) {
+    std::size_t i = heap_.size();
+    heap_.push_back(e);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
-  };
+    heap_[i] = e;
+  }
+
+  entry heap_pop() {
+    const entry top = heap_.front();
+    const entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      const std::size_t n = heap_.size();
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first_child = 4 * i + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+        for (std::size_t c = first_child + 1; c < end; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], last)) break;
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  /// Takes the callable out of a popped slot and recycles the slot (bumping
+  /// its generation so stale handles go inert). Returns an empty event_fn if
+  /// the event was cancelled. The slot is recycled *before* the callable
+  /// runs, so callbacks may freely schedule new events.
+  event_fn release_slot(std::uint32_t idx) {
+    detail::event_slot& slot = pool_->slots[idx];
+    event_fn fn;
+    if (!slot.cancelled) fn = std::move(slot.fn);
+    slot.fn.reset();
+    slot.cancelled = false;
+    ++slot.gen;
+    pool_->free_list.push_back(idx);
+    return fn;
+  }
 
   time_ns now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<entry, std::vector<entry>, later> queue_;
+  std::shared_ptr<detail::event_pool> pool_;
+  std::vector<entry> heap_;
 };
 
 }  // namespace mcc::sim

@@ -8,6 +8,7 @@
 #define MCC_SIM_WIRE_H
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <variant>
@@ -17,6 +18,44 @@
 #include "sim/time.h"
 
 namespace mcc::sim {
+
+/// Immutable shared payload body for variable-length header fields.
+///
+/// Heavyweight payloads (share lists, FEC shard bytes, subscription pairs)
+/// are written once at the sender and only read downstream — routers never
+/// mutate them (paper Requirement 3 guarantees enforcement needs no header
+/// rewriting). Backing them with a shared immutable vector makes the packet
+/// struct copy in O(1): multicast fan-out and link queues bump a refcount
+/// instead of deep-copying the body per branch.
+template <typename T>
+class shared_body {
+ public:
+  shared_body() = default;
+  shared_body(std::vector<T> v)  // NOLINT(google-explicit-constructor)
+      : data_(v.empty() ? nullptr
+                        : std::make_shared<const std::vector<T>>(std::move(v))) {}
+  shared_body(std::initializer_list<T> il) : shared_body(std::vector<T>(il)) {}
+
+  /// The backing vector (a shared static empty vector when unset).
+  [[nodiscard]] const std::vector<T>& get() const {
+    static const std::vector<T> empty_body;
+    return data_ == nullptr ? empty_body : *data_;
+  }
+  operator const std::vector<T>&() const {  // NOLINT(google-explicit-constructor)
+    return get();
+  }
+
+  [[nodiscard]] bool empty() const { return data_ == nullptr || data_->empty(); }
+  [[nodiscard]] std::size_t size() const {
+    return data_ == nullptr ? 0 : data_->size();
+  }
+  [[nodiscard]] auto begin() const { return get().begin(); }
+  [[nodiscard]] auto end() const { return get().end(); }
+  const T& operator[](std::size_t i) const { return get()[i]; }
+
+ private:
+  std::shared_ptr<const std::vector<T>> data_;
+};
 
 /// Identifies a node (host or router).
 using node_id = int;
@@ -87,7 +126,7 @@ struct flid_data {
   /// Threshold-DELTA share payload: one share of each level the packet's
   /// group belongs to (empty for XOR-based DELTA; the per-packet size cost
   /// is the overhead the paper calls out for threshold schemes).
-  std::vector<level_share> level_shares;
+  shared_body<level_share> level_shares;
 };
 
 /// IGMP-style membership report from a host to its edge router.
@@ -110,14 +149,14 @@ struct sigma_ctrl {
   int data_shards = 0;   // k
   int total_shards = 0;  // k + m
   std::size_t payload_size = 0;  // pre-FEC byte count
-  std::vector<std::uint8_t> shard_bytes;
+  shared_body<std::uint8_t> shard_bytes;
 };
 
 /// Subscription message: address-key pairs for one future slot (Fig. 6b).
 struct sigma_subscribe {
   int session_id = 0;
   std::int64_t slot = 0;
-  std::vector<std::pair<group_addr, crypto::group_key>> pairs;
+  shared_body<std::pair<group_addr, crypto::group_key>> pairs;
   std::uint64_t msg_id = 0;
 };
 

@@ -1,11 +1,43 @@
 #include "util/flags.h"
 
+#include <cmath>
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "util/require.h"
 
 namespace mcc::util {
+
+namespace {
+
+/// Whole-string integer parse; nullopt on any trailing garbage.
+std::optional<std::int64_t> parse_i64(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<double> parse_f64(const std::string& s) {
+  // std::stod accepts "nan", "inf", and hexfloats ("0x12"); none of them is
+  // a sane simulation parameter, so reject them up front.
+  if (s.find_first_of("xX") != std::string::npos) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size() || !std::isfinite(v)) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
 
 flag_set::flag_set(std::string program_description)
     : description_(std::move(program_description)) {}
@@ -13,7 +45,25 @@ flag_set::flag_set(std::string program_description)
 void flag_set::add(const std::string& name, const std::string& default_value,
                    const std::string& help) {
   require(!entries_.contains(name), "duplicate flag", name);
-  entries_[name] = entry{default_value, default_value, help};
+  entry e{default_value, default_value, help, kind::other};
+  // An integer-looking default still marks the flag merely numeric: many
+  // benches declare "--duration 120" but read it with f64(), so "12.5" must
+  // stay a valid value.
+  if (parse_f64(default_value).has_value()) e.k = kind::numeric;
+  entries_[name] = std::move(e);
+}
+
+bool flag_set::set_value(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  require(it != entries_.end(), "set_value: undeclared flag", name);
+  entry& e = it->second;
+  if (e.k == kind::numeric && !parse_f64(value).has_value()) {
+    std::fprintf(stderr, "bad value for --%s: '%s' (expected a number)\n",
+                 name.c_str(), value.c_str());
+    return false;
+  }
+  e.value = value;  // repeated flags are last-wins
+  return true;
 }
 
 bool flag_set::parse(int argc, const char* const* argv) {
@@ -54,7 +104,10 @@ bool flag_set::parse(int argc, const char* const* argv) {
       print_usage();
       return false;
     }
-    it->second.value = value;
+    if (!set_value(name, value)) {
+      print_usage();
+      return false;
+    }
   }
   return true;
 }
@@ -66,11 +119,21 @@ std::string flag_set::str(const std::string& name) const {
 }
 
 std::int64_t flag_set::i64(const std::string& name) const {
-  return std::stoll(str(name));
+  const std::string v = str(name);
+  if (const auto parsed = parse_i64(v)) return *parsed;
+  // Accept integral spellings like "1e6" or "250.0"; reject "2.5".
+  const auto real = parse_f64(v);
+  require(real.has_value() && *real == std::trunc(*real) &&
+              *real >= -9.2e18 && *real <= 9.2e18,
+          "bad value for --" + name + " (expected an integer)", v);
+  return static_cast<std::int64_t>(*real);
 }
 
 double flag_set::f64(const std::string& name) const {
-  return std::stod(str(name));
+  const std::string v = str(name);
+  const auto parsed = parse_f64(v);
+  require(parsed.has_value(), "bad value for --" + name, v);
+  return *parsed;
 }
 
 bool flag_set::boolean(const std::string& name) const {

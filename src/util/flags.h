@@ -2,6 +2,12 @@
 //
 // Flags are declared with a default and a help string, then parsed from
 // `--name=value` or `--name value` arguments. `--help` prints usage.
+// The default value doubles as a type hint: flags whose default parses as an
+// integer or a float are validated at parse time, so a bad `--duration=abc`
+// fails the parse with a friendly message instead of throwing out of an
+// accessor later. Repeated flags are last-wins. Declare boolean flags with
+// "true"/"false" defaults (not "0"/"1"), or the numeric validation will
+// reject the word spellings boolean() accepts.
 #ifndef MCC_UTIL_FLAGS_H
 #define MCC_UTIL_FLAGS_H
 
@@ -17,12 +23,13 @@ class flag_set {
  public:
   explicit flag_set(std::string program_description = "");
 
-  /// Declares a flag; `default_value` doubles as the type hint for usage text.
+  /// Declares a flag; `default_value` doubles as the type hint for usage text
+  /// and parse-time validation.
   void add(const std::string& name, const std::string& default_value,
            const std::string& help);
 
-  /// Parses argv. Returns false (after printing usage) on `--help` or on an
-  /// unknown/malformed flag.
+  /// Parses argv. Returns false (after printing usage) on `--help`, on an
+  /// unknown/malformed flag, or on a value that fails the flag's type check.
   bool parse(int argc, const char* const* argv);
 
   [[nodiscard]] std::string str(const std::string& name) const;
@@ -38,11 +45,19 @@ class flag_set {
   void print_usage() const;
 
  private:
+  /// Type inferred from the declared default; `other` flags (strings, bools)
+  /// are not validated at parse time. A numeric default (integer or float —
+  /// integer-default flags are often read via f64()) requires numeric values.
+  enum class kind { numeric, other };
+
   struct entry {
     std::string value;
     std::string default_value;
     std::string help;
+    kind k = kind::other;
   };
+
+  bool set_value(const std::string& name, const std::string& value);
 
   std::string description_;
   std::map<std::string, entry> entries_;

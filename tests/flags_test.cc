@@ -71,6 +71,90 @@ TEST(flags, positional_arguments_collected) {
   EXPECT_EQ(flags.i64("n"), 5);
 }
 
+TEST(flags, bad_integer_value_fails_parse) {
+  flag_set flags;
+  flags.add("sessions", "2", "count");
+  const char* argv[] = {"prog", "--sessions=eighteen"};
+  EXPECT_FALSE(flags.parse(2, argv));
+  // The default survives a failed parse.
+  EXPECT_EQ(flags.i64("sessions"), 2);
+}
+
+TEST(flags, bad_float_value_fails_parse) {
+  flag_set flags;
+  flags.add("rate", "1.5", "multiplier");
+  const char* argv[] = {"prog", "--rate", "fast"};
+  EXPECT_FALSE(flags.parse(3, argv));
+}
+
+TEST(flags, trailing_garbage_fails_parse) {
+  flag_set flags;
+  flags.add("duration", "200", "seconds");
+  const char* argv[] = {"prog", "--duration=200abc"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(flags, non_finite_and_hexfloat_values_fail_parse) {
+  for (const char* bad : {"nan", "inf", "-inf", "0x12"}) {
+    flag_set flags;
+    flags.add("duration", "200", "seconds");
+    const std::string arg = std::string("--duration=") + bad;
+    const char* argv[] = {"prog", arg.c_str()};
+    EXPECT_FALSE(flags.parse(2, argv)) << bad;
+  }
+}
+
+TEST(flags, integer_flag_accepts_negative_and_float_flag_accepts_exponent) {
+  flag_set flags;
+  flags.add("offset", "0", "signed");
+  flags.add("bps", "1e6", "rate");
+  const char* argv[] = {"prog", "--offset=-42", "--bps=2.5e7"};
+  ASSERT_TRUE(flags.parse(3, argv));
+  EXPECT_EQ(flags.i64("offset"), -42);
+  EXPECT_DOUBLE_EQ(flags.f64("bps"), 2.5e7);
+}
+
+TEST(flags, integer_default_accepts_fractional_value_read_via_f64) {
+  // Benches declare e.g. --duration 120 but read it with f64(): a
+  // fractional value must parse.
+  flag_set flags;
+  flags.add("duration", "120", "seconds");
+  const char* argv[] = {"prog", "--duration=12.5"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_DOUBLE_EQ(flags.f64("duration"), 12.5);
+  // ...but i64() on a genuinely fractional value is an error, while
+  // integral spellings like 1e3 convert cleanly.
+  EXPECT_THROW((void)flags.i64("duration"), invariant_error);
+  flag_set flags2;
+  flags2.add("count", "1", "count");
+  const char* argv2[] = {"prog", "--count=1e3"};
+  ASSERT_TRUE(flags2.parse(2, argv2));
+  EXPECT_EQ(flags2.i64("count"), 1000);
+}
+
+TEST(flags, string_flags_skip_numeric_validation) {
+  flag_set flags;
+  flags.add("label", "run", "free-form");
+  const char* argv[] = {"prog", "--label=not-a-number"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_EQ(flags.str("label"), "not-a-number");
+}
+
+TEST(flags, repeated_flag_is_last_wins) {
+  flag_set flags;
+  flags.add("seed", "1", "rng seed");
+  const char* argv[] = {"prog", "--seed=5", "--seed", "9", "--seed=7"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.i64("seed"), 7);
+}
+
+TEST(flags, accessor_on_non_numeric_string_throws_friendly_error) {
+  flag_set flags;
+  flags.add("label", "run", "free-form");
+  EXPECT_THROW((void)flags.i64("label"), invariant_error);
+  EXPECT_THROW((void)flags.f64("label"), invariant_error);
+}
+
 TEST(flags, duplicate_declaration_throws) {
   flag_set flags;
   flags.add("x", "1", "");

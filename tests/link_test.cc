@@ -71,6 +71,41 @@ TEST(link, drops_when_queue_full) {
   EXPECT_EQ(sink.packets.size(), 3u);
 }
 
+TEST(link, counts_dropped_bytes_and_queue_high_watermark) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 1e6;
+  cfg.delay = 0;
+  cfg.queue_capacity_bytes = 2500;  // fits two 1000-byte packets + in-flight
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+
+  // First packet starts serializing immediately; two queue; three drop.
+  for (int i = 0; i < 6; ++i) t.net.get(t.a)->send(make_packet(1000, t.b));
+  EXPECT_EQ(t.fwd->stats().dropped, 3u);
+  EXPECT_EQ(t.fwd->stats().bytes_dropped, 3000);
+  // Peak occupancy: two 1000-byte packets waiting behind the in-flight one.
+  EXPECT_EQ(t.fwd->stats().max_queued_bytes, 2000);
+  s.run();
+  // Draining the queue does not lower the recorded high-watermark.
+  EXPECT_EQ(t.fwd->queued_bytes(), 0);
+  EXPECT_EQ(t.fwd->stats().max_queued_bytes, 2000);
+  EXPECT_EQ(sink.packets.size(), 3u);
+}
+
+TEST(link, undropped_traffic_reports_zero_dropped_bytes) {
+  scheduler s;
+  link_config cfg;
+  cfg.bps = 10e6;
+  two_hosts t(s, cfg);
+  capture_agent sink(t.net, t.b);
+  for (int i = 0; i < 4; ++i) t.net.get(t.a)->send(make_packet(500, t.b));
+  s.run();
+  EXPECT_EQ(t.fwd->stats().dropped, 0u);
+  EXPECT_EQ(t.fwd->stats().bytes_dropped, 0);
+  EXPECT_GT(t.fwd->stats().max_queued_bytes, 0);
+}
+
 TEST(link, counts_delivered_bytes) {
   scheduler s;
   link_config cfg;

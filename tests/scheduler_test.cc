@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <vector>
 
 namespace mcc::sim {
@@ -98,6 +100,91 @@ TEST(scheduler, default_handle_is_inert) {
   event_handle h;
   EXPECT_FALSE(h.pending());
   h.cancel();
+}
+
+TEST(scheduler, handle_outlives_scheduler) {
+  event_handle h;
+  {
+    scheduler s;
+    h = s.at(milliseconds(10), [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  // The scheduler (and its event pool) are gone; the handle must go inert
+  // rather than dangle.
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // safe no-op
+}
+
+TEST(scheduler, stale_handle_does_not_affect_recycled_slot) {
+  scheduler s;
+  int first = 0;
+  int second = 0;
+  event_handle h1 = s.at(milliseconds(1), [&] { ++first; });
+  s.run();
+  ASSERT_EQ(first, 1);
+  // The fired event's pool slot is recycled by the next schedule; the old
+  // handle's generation is stale, so cancelling it must not touch the new
+  // event.
+  event_handle h2 = s.at(milliseconds(2), [&] { ++second; });
+  EXPECT_FALSE(h1.pending());
+  h1.cancel();
+  EXPECT_TRUE(h2.pending());
+  s.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(scheduler, cancel_from_within_an_event) {
+  scheduler s;
+  int fired = 0;
+  event_handle victim = s.at(milliseconds(10), [&] { ++fired; });
+  s.at(milliseconds(5), [&] { victim.cancel(); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(scheduler, fifo_tie_break_survives_cancellations) {
+  scheduler s;
+  std::vector<int> order;
+  std::vector<event_handle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(s.at(milliseconds(5), [&, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 20; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+  s.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(scheduler, pool_reuse_under_churn_stays_deterministic) {
+  // Schedule/cancel/fire far more events than the pool's initial capacity,
+  // interleaved, and check the executed count and clock.
+  scheduler s;
+  std::uint64_t fired = 0;
+  std::vector<event_handle> cancelled;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      s.at(milliseconds(round * 10 + 1), [&] { ++fired; });
+      cancelled.push_back(s.at(milliseconds(round * 10 + 2), [&] { ++fired; }));
+    }
+    for (auto& h : cancelled) h.cancel();
+    cancelled.clear();
+    s.run_until(milliseconds(round * 10 + 5));
+  }
+  EXPECT_EQ(fired, 5000u);
+  EXPECT_EQ(s.executed_events(), 5000u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(scheduler, large_capture_falls_back_to_heap_and_still_runs) {
+  scheduler s;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes: exceeds inline storage
+  big[31] = 7;
+  std::uint64_t seen = 0;
+  s.at(milliseconds(1), [big, &seen] { seen = big[31]; });
+  s.run();
+  EXPECT_EQ(seen, 7u);
 }
 
 TEST(scheduler, events_scheduled_during_execution_run) {
