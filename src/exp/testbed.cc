@@ -1,5 +1,8 @@
 #include "exp/testbed.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "crypto/prng.h"
 
 namespace mcc::exp {
@@ -251,7 +254,9 @@ void testbed::run_until(sim::time_ns until) {
 namespace {
 
 /// Backbone link sized like every factory sizes links: queue of
-/// buffer_bdp bandwidth-delay products at the scenario base RTT.
+/// buffer_bdp bandwidth-delay products at the scenario base RTT. Carries the
+/// scenario's queue discipline; an unset AQM seed inherits the scenario seed
+/// so probabilistic policies follow the run's seed sweep.
 template <typename Cfg>
 sim::link_config backbone_link(double bps, sim::time_ns delay,
                                const Cfg& cfg) {
@@ -259,6 +264,8 @@ sim::link_config backbone_link(double bps, sim::time_ns delay,
   l.bps = bps;
   l.delay = delay;
   l.queue_capacity_bytes = queue_bytes(bps, cfg.buffer_bdp, cfg.base_rtt);
+  l.aqm = cfg.aqm;
+  if (l.aqm.seed == 0) l.aqm.seed = cfg.seed;
   return l;
 }
 
@@ -309,6 +316,92 @@ double average_receiver_kbps(flid_session& session, sim::time_ns t0,
   double sum = 0.0;
   for (auto& r : session.receivers) sum += r->monitor().average_kbps(t0, t1);
   return sum / static_cast<double>(session.receivers.size());
+}
+
+// ---------------------------------------------------------------------------
+// AQM flag glue
+// ---------------------------------------------------------------------------
+
+void add_aqm_flags(util::flag_set& flags) {
+  flags.add("qdisc", "droptail",
+            "queue discipline(s): droptail|ecn|red|codel, comma list or all");
+  flags.add("ecn-threshold", "0.5", "ecn: mark above this occupancy fraction");
+  flags.add("red-min", "0.15", "red: min threshold, fraction of capacity");
+  flags.add("red-max", "0.5", "red: max threshold, fraction of capacity");
+  flags.add("red-maxp", "0.1", "red: drop probability at the max threshold");
+  flags.add("red-weight", "0.002", "red: EWMA weight");
+  flags.add("red-gentle", "true", "red: ramp to certain drop over [max,2max]");
+  flags.add("codel-target", "5", "codel: target sojourn time, ms");
+  flags.add("codel-interval", "100", "codel: control interval, ms");
+}
+
+std::vector<sim::qdisc> qdisc_list_from_flags(const util::flag_set& flags) {
+  const std::string spec = flags.str("qdisc");
+  if (spec == "all") {
+    return {sim::qdisc::droptail, sim::qdisc::ecn_threshold, sim::qdisc::red,
+            sim::qdisc::codel};
+  }
+  std::vector<sim::qdisc> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string name =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto d = sim::qdisc_from_name(name);
+    if (!d.has_value()) {
+      // A typo on the command line, not a program invariant: fail with the
+      // same friendly UX as a bad numeric flag value.
+      std::fprintf(stderr,
+                   "bad value for --qdisc: '%s' (expected droptail, ecn, red, "
+                   "codel, a comma list, or all)\n",
+                   name.c_str());
+      std::exit(1);
+    }
+    out.push_back(*d);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+sim::aqm_config aqm_config_from_flags(const util::flag_set& flags) {
+  // Range-check here, with the friendly bad-flag UX: the policy constructors
+  // also validate, but they throw on a sweep worker thread where an uncaught
+  // invariant_error is always std::terminate.
+  const auto checked = [&](const char* flag, double lo, double hi,
+                           const char* expect) {
+    const double v = flags.f64(flag);
+    if (!(v >= lo && v <= hi)) {
+      std::fprintf(stderr, "bad value for --%s: %g (expected %s)\n", flag, v,
+                   expect);
+      std::exit(1);
+    }
+    return v;
+  };
+  sim::aqm_config cfg;
+  cfg.discipline = qdisc_list_from_flags(flags).front();
+  cfg.ecn_threshold_fraction =
+      checked("ecn-threshold", 0.0, 1.0, "a fraction in [0, 1]");
+  cfg.red.min_fraction =
+      checked("red-min", 1e-9, 1.0, "a capacity fraction in (0, 1]");
+  cfg.red.max_fraction =
+      checked("red-max", 1e-9, 1.0, "a capacity fraction in (0, 1]");
+  if (cfg.red.min_fraction >= cfg.red.max_fraction) {
+    std::fprintf(stderr, "bad value for --red-min/--red-max: %g >= %g "
+                         "(expected min < max)\n",
+                 cfg.red.min_fraction, cfg.red.max_fraction);
+    std::exit(1);
+  }
+  cfg.red.max_prob =
+      checked("red-maxp", 1e-9, 1.0, "a probability in (0, 1]");
+  cfg.red.weight =
+      checked("red-weight", 1e-9, 1.0, "an EWMA weight in (0, 1]");
+  cfg.red.gentle = flags.boolean("red-gentle");
+  cfg.codel.target = sim::milliseconds(static_cast<std::int64_t>(
+      checked("codel-target", 1.0, 1e9, "a positive millisecond count")));
+  cfg.codel.interval = sim::milliseconds(static_cast<std::int64_t>(
+      checked("codel-interval", 1.0, 1e9, "a positive millisecond count")));
+  return cfg;
 }
 
 }  // namespace mcc::exp

@@ -28,10 +28,12 @@
 #include "core/sigma_router.h"
 #include "flid/flid_receiver.h"
 #include "flid/flid_sender.h"
+#include "sim/aqm.h"
 #include "sim/network.h"
 #include "sim/topology.h"
 #include "tcp/tcp.h"
 #include "traffic/cbr.h"
+#include "util/flags.h"
 
 namespace mcc::exp {
 
@@ -216,6 +218,10 @@ struct dumbbell_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
+  /// Bottleneck queue discipline (access links stay drop-tail). An unset
+  /// aqm.seed inherits the scenario seed, so RED coin-flips follow the run's
+  /// seed sweep.
+  sim::aqm_config aqm;
 };
 
 /// Dumbbell testbed: senders attach at "l", receivers at "r".
@@ -233,6 +239,7 @@ struct parking_lot_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
+  sim::aqm_config aqm;  // backbone queue discipline
 };
 
 [[nodiscard]] testbed_config parking_lot(const parking_lot_config& cfg = {});
@@ -248,6 +255,7 @@ struct star_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
+  sim::aqm_config aqm;  // backbone queue discipline
 };
 
 [[nodiscard]] testbed_config star(const star_config& cfg = {});
@@ -265,6 +273,7 @@ struct tree_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
+  sim::aqm_config aqm;  // backbone queue discipline
 };
 
 [[nodiscard]] testbed_config balanced_tree(const tree_config& cfg = {});
@@ -272,6 +281,36 @@ struct tree_config {
 /// Average of receiver throughputs over [t0, t1) in Kbps.
 [[nodiscard]] double average_receiver_kbps(flid_session& session,
                                            sim::time_ns t0, sim::time_ns t1);
+
+// ---------------------------------------------------------------------------
+// AQM flag glue: every bench that sweeps queue disciplines registers the
+// same flags and decodes them the same way.
+// ---------------------------------------------------------------------------
+
+/// Registers the shared AQM flags on a bench's flag set:
+///   --qdisc LIST       comma-separated disciplines (droptail|ecn|red|codel),
+///                      or "all"; benches sweep one grid axis per entry
+///   --ecn-threshold F  ecn: mark above this occupancy fraction
+///   --red-min F        red: min threshold as a fraction of queue capacity
+///   --red-max F        red: max threshold as a fraction of queue capacity
+///   --red-maxp P       red: drop probability at the max threshold
+///   --red-weight W     red: EWMA weight
+///   --red-gentle B     red: ramp to certain drop over [max, 2*max]
+///   --codel-target MS  codel: target sojourn time, milliseconds
+///   --codel-interval MS codel: control interval, milliseconds
+void add_aqm_flags(util::flag_set& flags);
+
+/// Decodes the parameter flags into an aqm_config. The discipline is set to
+/// the FIRST entry of --qdisc; benches sweeping several override it per grid
+/// point. An unknown discipline name prints a friendly message and exits(1),
+/// like any other bad flag value (bench-main glue, not library API).
+[[nodiscard]] sim::aqm_config aqm_config_from_flags(
+    const util::flag_set& flags);
+
+/// The full --qdisc list in declaration order ("all" expands to every
+/// discipline). Same bad-name behaviour as aqm_config_from_flags.
+[[nodiscard]] std::vector<sim::qdisc> qdisc_list_from_flags(
+    const util::flag_set& flags);
 
 }  // namespace mcc::exp
 

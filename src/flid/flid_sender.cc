@@ -11,7 +11,10 @@ sim::session_announcement flid_config::announcement() const {
   sim::session_announcement ann;
   ann.session_id = session_id;
   ann.slot_duration = slot_duration;
-  for (int g = 1; g <= num_groups; ++g) ann.groups.push_back(group(g));
+  std::vector<sim::group_addr> groups;
+  groups.reserve(static_cast<std::size_t>(num_groups));
+  for (int g = 1; g <= num_groups; ++g) groups.push_back(group(g));
+  ann.groups = std::move(groups);
   return ann;
 }
 

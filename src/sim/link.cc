@@ -20,36 +20,93 @@ link::link(scheduler& sched, node* from, node* to, const link_config& cfg)
   if (cfg_.queue_capacity_bytes <= 0) {
     cfg_.queue_capacity_bytes = default_queue_bytes(cfg_.bps);
   }
+  util::require(cfg_.queue_capacity_bytes > 0,
+                "link: queue capacity auto-size produced no room (rate too "
+                "low for the 2-BDP default)");
+  aqm_ = make_aqm(cfg_.aqm, cfg_.bps, cfg_.queue_capacity_bytes);
+}
+
+void link::account_queue(time_ns now) {
+  queue_byte_ns_ += static_cast<double>(queued_bytes_) *
+                    static_cast<double>(now - queue_changed_at_);
+  queue_changed_at_ = now;
+}
+
+double link::time_avg_queued_bytes(time_ns now) const {
+  if (now <= 0) return 0.0;
+  const double integral =
+      queue_byte_ns_ + static_cast<double>(queued_bytes_) *
+                           static_cast<double>(now - queue_changed_at_);
+  return integral / static_cast<double>(now);
 }
 
 void link::transmit(packet p) {
+  const time_ns now = sched_.now();
+  const aqm_queue_view view{queued_bytes_, cfg_.queue_capacity_bytes};
+  // Physical backstop for every policy: a packet never enters a queue beyond
+  // capacity. Policies shape behaviour below this limit but still observe
+  // the overflow arrival (RED's average must track the full queue).
   if (queued_bytes_ + p.size_bytes > cfg_.queue_capacity_bytes) {
+    aqm_->on_overflow(p, view, now);
     ++stats_.dropped;
     stats_.bytes_dropped += p.size_bytes;
     return;
   }
-  if (cfg_.discipline == qdisc::ecn_threshold && p.ecn_capable &&
-      static_cast<double>(queued_bytes_) >
-          cfg_.ecn_threshold_fraction *
-              static_cast<double>(cfg_.queue_capacity_bytes)) {
-    p.ecn_marked = true;
-    ++stats_.ecn_marked;
+  switch (aqm_->on_arrival(p, view, now)) {
+    case aqm_decision::drop:
+      ++stats_.dropped;
+      ++stats_.aqm_dropped;
+      stats_.bytes_dropped += p.size_bytes;
+      return;
+    case aqm_decision::mark:
+      if (p.ecn_capable && !p.ecn_marked) {
+        p.ecn_marked = true;
+        ++stats_.ecn_marked;
+      }
+      break;
+    case aqm_decision::pass:
+      break;
   }
   ++stats_.enqueued;
+  account_queue(now);
   queued_bytes_ += p.size_bytes;
   stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
-  queue_.push_back(std::move(p));
+  queue_.push_back(queued{now, std::move(p)});
   if (!busy_) start_transmission();
 }
 
 void link::start_transmission() {
-  util::require(!queue_.empty(), "link: transmission with empty queue");
-  busy_ = true;
-  serializing_ = std::move(queue_.front());
-  queue_.pop_front();
-  queued_bytes_ -= serializing_.size_bytes;
-  const time_ns tx = transmission_time(serializing_.size_bytes, cfg_.bps);
-  sched_.after(tx, [this] { on_serialized(); });
+  const time_ns now = sched_.now();
+  while (!queue_.empty()) {
+    queued qp = std::move(queue_.front());
+    queue_.pop_front();
+    account_queue(now);
+    queued_bytes_ -= qp.p.size_bytes;
+    const aqm_queue_view view{queued_bytes_, cfg_.queue_capacity_bytes};
+    switch (aqm_->on_dequeue(qp.p, qp.enqueued_at, view, now)) {
+      case aqm_decision::drop:
+        // CoDel sojourn drop: discard the head and consult the policy about
+        // the next packet.
+        ++stats_.dropped;
+        ++stats_.aqm_dropped;
+        stats_.bytes_dropped += qp.p.size_bytes;
+        continue;
+      case aqm_decision::mark:
+        if (qp.p.ecn_capable && !qp.p.ecn_marked) {
+          qp.p.ecn_marked = true;
+          ++stats_.ecn_marked;
+        }
+        break;
+      case aqm_decision::pass:
+        break;
+    }
+    busy_ = true;
+    serializing_ = std::move(qp.p);
+    const time_ns tx = transmission_time(serializing_.size_bytes, cfg_.bps);
+    sched_.after(tx, [this] { on_serialized(); });
+    return;
+  }
+  busy_ = false;
 }
 
 void link::on_serialized() {
@@ -63,11 +120,7 @@ void link::on_serialized() {
     delivery_armed_ = true;
     sched_.at(flying_.back().arrive_at, [this] { on_deliver(); });
   }
-  if (!queue_.empty()) {
-    start_transmission();
-  } else {
-    busy_ = false;
-  }
+  start_transmission();
 }
 
 void link::on_deliver() {

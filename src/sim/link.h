@@ -1,5 +1,7 @@
 // Unidirectional point-to-point link with serialization delay, propagation
-// delay, and a finite drop-tail queue (optionally ECN threshold marking).
+// delay, and a finite queue whose admission/marking/head-drop decisions are
+// delegated to a pluggable AQM policy (sim/aqm.h): drop-tail, threshold-ECN,
+// RED, or CoDel, selected via link_config::aqm.
 //
 // The transmit -> propagate chain runs on two per-link pooled timers (one
 // serialization timer, one delivery timer) whose callbacks capture only the
@@ -10,8 +12,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 
+#include "sim/aqm.h"
 #include "sim/scheduler.h"
 #include "sim/wire.h"
 
@@ -19,29 +23,22 @@ namespace mcc::sim {
 
 class node;
 
-/// Queueing discipline for the link's output buffer.
-enum class qdisc {
-  droptail,
-  /// Drop-tail + ECN: mark ECN-capable packets when occupancy exceeds
-  /// ecn_threshold_fraction of capacity (simplified RED used for the
-  /// DELTA ECN variant of paper section 3.1.2).
-  ecn_threshold,
-};
-
 struct link_config {
   double bps = 10e6;                      // line rate, bits/second
   time_ns delay = milliseconds(10);       // propagation delay
   std::int64_t queue_capacity_bytes = 0;  // 0 = pick 2 BDP at 100 ms
-  qdisc discipline = qdisc::droptail;
-  double ecn_threshold_fraction = 0.5;
+  aqm_config aqm;                         // queue discipline + parameters
 };
 
 /// Per-link counters. Byte-level drop accounting and the queue-occupancy
 /// high-watermark let overload scenarios report loss in bytes and peak
-/// buffer pressure, not just packet counts.
+/// buffer pressure, not just packet counts. `aqm_dropped` splits policy
+/// decisions (RED early drops, CoDel sojourn drops) out of `dropped`, whose
+/// remainder is physical tail overflow.
 struct link_stats {
   std::uint64_t enqueued = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;      // total: tail overflow + AQM decisions
+  std::uint64_t aqm_dropped = 0;  // subset of dropped decided by the policy
   std::uint64_t delivered = 0;
   std::uint64_t ecn_marked = 0;
   std::int64_t bytes_delivered = 0;
@@ -56,7 +53,8 @@ class link {
   link(const link&) = delete;
   link& operator=(const link&) = delete;
 
-  /// Hands a packet to the link for transmission; may drop (queue full).
+  /// Hands a packet to the link for transmission; may drop (queue full or
+  /// AQM early drop).
   void transmit(packet p);
 
   [[nodiscard]] node* from() const { return from_; }
@@ -67,19 +65,35 @@ class link {
   [[nodiscard]] const link_config& config() const { return cfg_; }
   [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
 
+  /// The instantiated queue policy (RED's EWMA average lives here).
+  [[nodiscard]] const aqm_policy& aqm() const { return *aqm_; }
+
+  /// Time-weighted average of queued_bytes() over [0, now]; the queue-trace
+  /// companion of the max_queued_bytes high-watermark.
+  [[nodiscard]] double time_avg_queued_bytes(time_ns now) const;
+
   [[nodiscard]] const link_stats& stats() const { return stats_; }
 
  private:
   void start_transmission();
   void on_serialized();
   void on_deliver();
+  /// Folds the elapsed occupancy into the time-weighted integral; call
+  /// immediately before every change of queued_bytes_.
+  void account_queue(time_ns now);
 
   scheduler& sched_;
   node* from_;
   node* to_;
   link* reverse_ = nullptr;
   link_config cfg_;
-  std::deque<packet> queue_;
+  std::unique_ptr<aqm_policy> aqm_;
+  /// Waiting packets stamped with their arrival time (CoDel sojourn).
+  struct queued {
+    time_ns enqueued_at;
+    packet p;
+  };
+  std::deque<queued> queue_;
   /// Head-of-line packet currently being serialized (valid while busy_).
   packet serializing_;
   /// Packets in flight on the wire, FIFO by arrival time (the propagation
@@ -92,6 +106,8 @@ class link {
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
   bool delivery_armed_ = false;
+  double queue_byte_ns_ = 0.0;     // integral of queued_bytes over time
+  time_ns queue_changed_at_ = 0;   // left edge of the un-integrated interval
   link_stats stats_;
 };
 

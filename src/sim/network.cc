@@ -2,7 +2,24 @@
 
 #include <queue>
 
+#include "crypto/prng.h"
+
 namespace mcc::sim {
+
+namespace {
+/// Per-link AQM stream seed: links created from the same config (a duplex
+/// pair, or every spoke of a star) must not replay each other's RED
+/// coin-flips, so the network mixes its link-creation counter into the
+/// configured seed. Creation order is deterministic, so sweeps stay
+/// bit-reproducible.
+link_config with_link_seed(const link_config& cfg, std::size_t link_index) {
+  link_config out = cfg;
+  std::uint64_t sm = cfg.aqm.seed ^
+                     (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(link_index) + 1));
+  out.aqm.seed = crypto::splitmix64(sm);
+  return out;
+}
+}  // namespace
 
 node_id network::add_node(const std::string& name, bool router) {
   util::require(!routing_final_, "network: topology frozen after routing");
@@ -40,9 +57,11 @@ std::pair<link*, link*> network::connect(node_id a, node_id b,
   util::require(!routing_final_, "network: topology frozen after routing");
   node* na = get(a);
   node* nb = get(b);
-  links_.push_back(std::make_unique<link>(sched_, na, nb, ab));
+  links_.push_back(std::make_unique<link>(sched_, na, nb,
+                                          with_link_seed(ab, links_.size())));
   link* fwd = links_.back().get();
-  links_.push_back(std::make_unique<link>(sched_, nb, na, ba));
+  links_.push_back(std::make_unique<link>(sched_, nb, na,
+                                          with_link_seed(ba, links_.size())));
   link* rev = links_.back().get();
   fwd->set_reverse(rev);
   rev->set_reverse(fwd);

@@ -52,6 +52,14 @@ class shared_body {
   [[nodiscard]] auto begin() const { return get().begin(); }
   [[nodiscard]] auto end() const { return get().end(); }
   const T& operator[](std::size_t i) const { return get()[i]; }
+  const T& front() const { return get().front(); }
+
+  /// Number of packet copies sharing this body (0 when unset). Exposed so
+  /// fan-out tests can assert that branch copies bump a refcount instead of
+  /// deep-copying.
+  [[nodiscard]] long use_count() const {
+    return data_ == nullptr ? 0 : data_.use_count();
+  }
 
  private:
   std::shared_ptr<const std::vector<T>> data_;
@@ -163,7 +171,7 @@ struct sigma_subscribe {
 /// Explicit unsubscription (Fig. 6c).
 struct sigma_unsubscribe {
   int session_id = 0;
-  std::vector<group_addr> groups;
+  shared_body<group_addr> groups;
 };
 
 /// Session-join: keyless admission to the minimal group (Fig. 6a).
@@ -195,7 +203,7 @@ struct sigma_tag {
 /// session owns and which group is minimal (first entry).
 struct session_announcement {
   int session_id = 0;
-  std::vector<group_addr> groups;  // ordered; minimal group first
+  shared_body<group_addr> groups;  // ordered; minimal group first
   time_ns slot_duration = 0;
   bool sigma_protected = false;
 };

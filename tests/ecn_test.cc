@@ -41,8 +41,8 @@ TEST(ecn, marked_packets_are_scrubbed_at_the_edge) {
   sim::link_config thin;
   thin.bps = 300e3;  // below the session's demand once it climbs
   thin.delay = sim::milliseconds(20);
-  thin.discipline = sim::qdisc::ecn_threshold;
-  thin.ecn_threshold_fraction = 0.3;
+  thin.aqm.discipline = sim::qdisc::ecn_threshold;
+  thin.aqm.ecn_threshold_fraction = 0.3;
   net.connect(src, r1, fat);
   net.connect(r1, r2, thin);
   net.connect(r2, dst, fat);

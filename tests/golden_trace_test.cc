@@ -1,0 +1,170 @@
+// Golden-trace regression: a small dumbbell scenario is run once per queue
+// discipline, the delivered-packet event stream is folded into an FNV-1a
+// digest, and the digests are compared against checked-in constants. Any
+// unintended drift in the engine — scheduler ordering, link timing, AQM
+// decision sequences, PRNG streams — changes a digest and fails loudly here
+// long before it would show up as a subtly shifted figure.
+//
+// The digests are a contract about determinism, not about correctness: when
+// an INTENTIONAL engine change shifts them, rerun the test, copy the printed
+// digests into `golden()` below, and say so in the PR.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/prng.h"
+#include "sim/aqm.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "test_util.h"
+
+namespace mcc::sim {
+namespace {
+
+/// FNV-1a 64-bit, folded one 64-bit word at a time.
+struct fnv1a {
+  std::uint64_t h = 14695981039346656037ULL;
+  void fold(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  [[nodiscard]] std::string hex() const {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+  }
+};
+
+/// Agent that folds every delivered packet into the digest.
+class hashing_sink : public agent {
+ public:
+  hashing_sink(network& net, node_id host, fnv1a& digest)
+      : sched_(net.sched()), digest_(digest) {
+    net.get(host)->add_agent(this);
+  }
+
+  bool handle_packet(const packet& p, link*) override {
+    digest_.fold(static_cast<std::uint64_t>(sched_.now()));
+    digest_.fold(p.uid);
+    digest_.fold(static_cast<std::uint64_t>(p.src));
+    digest_.fold(static_cast<std::uint64_t>(p.size_bytes));
+    digest_.fold(p.ecn_marked ? 1 : 0);
+    return true;
+  }
+
+ private:
+  scheduler& sched_;
+  fnv1a& digest_;
+};
+
+/// The scenario: two senders blast prng-shaped traffic (exponential gaps,
+/// mixed sizes, every other packet ECN-capable) at ~2x the bottleneck rate
+/// of a dumbbell whose bottleneck runs the given discipline.
+std::string run_digest(qdisc d) {
+  scheduler sched;
+  network net(sched);
+  const node_id ha = net.add_host("ha");
+  const node_id hb = net.add_host("hb");
+  const node_id r1 = net.add_router("r1");
+  const node_id r2 = net.add_router("r2");
+  const node_id hc = net.add_host("hc");
+  const node_id hd = net.add_host("hd");
+
+  link_config access;
+  access.bps = 10e6;
+  access.delay = milliseconds(1);
+  link_config bottleneck;
+  bottleneck.bps = 1e6;
+  bottleneck.delay = milliseconds(5);
+  bottleneck.queue_capacity_bytes = 15'000;
+  bottleneck.aqm.discipline = d;
+  bottleneck.aqm.seed = 7;
+  net.connect(ha, r1, access);
+  net.connect(hb, r1, access);
+  net.connect(r1, r2, bottleneck);
+  net.connect(r2, hc, access);
+  net.connect(r2, hd, access);
+  net.finalize_routing();
+
+  fnv1a digest;
+  hashing_sink sink_c(net, hc, digest);
+  hashing_sink sink_d(net, hd, digest);
+
+  crypto::prng rng(42);
+  const struct {
+    node_id src;
+    node_id dst;
+    std::uint64_t stream;
+  } flows[] = {{ha, hc, 1}, {hb, hd, 2}};
+  for (const auto& f : flows) {
+    crypto::prng stream = rng.fork(f.stream);
+    time_ns t = 0;
+    for (int i = 0; i < 1'200; ++i) {
+      t += static_cast<time_ns>(stream.uniform(1e6, 8e6));  // 1..8 ms gaps
+      const int size = static_cast<int>(stream.uniform_int(200, 1'400));
+      const bool ecn = (i % 2) == 0;
+      const node_id src = f.src;
+      const node_id dst = f.dst;
+      sched.at(t, [&net, src, dst, size, ecn] {
+        packet p = mcc::testing::make_packet(size, dst);
+        p.ecn_capable = ecn;
+        net.get(src)->send(std::move(p));
+      });
+    }
+  }
+  sched.run();
+
+  // Fold the bottleneck's final counters: drops that never reach a sink must
+  // still shift the digest.
+  const link_stats& bn = net.next_hop(r1, hc)->stats();
+  digest.fold(bn.enqueued);
+  digest.fold(bn.dropped);
+  digest.fold(bn.aqm_dropped);
+  digest.fold(bn.ecn_marked);
+  digest.fold(static_cast<std::uint64_t>(bn.bytes_dropped));
+  digest.fold(static_cast<std::uint64_t>(bn.max_queued_bytes));
+  return digest.hex();
+}
+
+/// Checked-in digests. Regenerate by running this suite and copying the
+/// values printed in the failure messages.
+const char* golden(qdisc d) {
+  switch (d) {
+    case qdisc::droptail: return "0x4b17afea52a0332c";
+    case qdisc::ecn_threshold: return "0xd85981df81dd339c";
+    case qdisc::red: return "0xd5968bba4465239e";
+    case qdisc::codel: return "0xfd85f351064fd636";
+  }
+  return "";
+}
+
+class golden_trace : public ::testing::TestWithParam<qdisc> {};
+
+TEST_P(golden_trace, delivered_packet_stream_matches_checked_in_digest) {
+  const qdisc d = GetParam();
+  const std::string digest = run_digest(d);
+  EXPECT_EQ(digest, golden(d))
+      << "engine behaviour drifted under " << qdisc_name(d)
+      << " (if intentional, update golden() with the digest above)";
+}
+
+TEST_P(golden_trace, digest_is_reproducible_within_a_process) {
+  const qdisc d = GetParam();
+  EXPECT_EQ(run_digest(d), run_digest(d));
+}
+
+INSTANTIATE_TEST_SUITE_P(all_qdiscs, golden_trace,
+                         ::testing::Values(qdisc::droptail,
+                                           qdisc::ecn_threshold, qdisc::red,
+                                           qdisc::codel),
+                         [](const auto& info) {
+                           return std::string(qdisc_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace mcc::sim

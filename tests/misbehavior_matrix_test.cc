@@ -18,15 +18,20 @@ using exp::receiver_options;
 struct matrix_case {
   misbehaving_sigma_strategy::key_mode mode;
   double bottleneck_bps;
+  /// Bottleneck queue discipline: DELTA's protection bound is a property of
+  /// key enforcement, so it must hold whether the queue signals congestion by
+  /// tail drops, RED early drops, or CoDel sojourn drops.
+  sim::qdisc queue = sim::qdisc::droptail;
 };
 
 class containment_matrix : public ::testing::TestWithParam<matrix_case> {};
 
 TEST_P(containment_matrix, attacker_held_near_honest_share) {
-  const auto [mode, bottleneck] = GetParam();
+  const auto [mode, bottleneck, queue] = GetParam();
   dumbbell_config cfg;
   cfg.bottleneck_bps = bottleneck;
   cfg.seed = 21;
+  cfg.aqm.discipline = queue;
   testbed d(dumbbell(cfg));
   receiver_options attacker;
   attacker.inflate = true;
@@ -60,6 +65,25 @@ INSTANTIATE_TEST_SUITE_P(
         matrix_case{misbehaving_sigma_strategy::key_mode::replay, 1e6},
         matrix_case{misbehaving_sigma_strategy::key_mode::guess, 500e3},
         matrix_case{misbehaving_sigma_strategy::key_mode::guess, 1e6}));
+
+// The inflated-subscription rows again, under every adversarial queue
+// discipline: the containment bound may not depend on how the bottleneck
+// signals congestion.
+INSTANTIATE_TEST_SUITE_P(
+    modes_and_qdiscs, containment_matrix,
+    ::testing::Values(
+        matrix_case{misbehaving_sigma_strategy::key_mode::guess, 1e6,
+                    sim::qdisc::red},
+        matrix_case{misbehaving_sigma_strategy::key_mode::guess, 1e6,
+                    sim::qdisc::codel},
+        matrix_case{misbehaving_sigma_strategy::key_mode::best_effort, 1e6,
+                    sim::qdisc::red},
+        matrix_case{misbehaving_sigma_strategy::key_mode::best_effort, 1e6,
+                    sim::qdisc::codel},
+        matrix_case{misbehaving_sigma_strategy::key_mode::replay, 1e6,
+                    sim::qdisc::red},
+        matrix_case{misbehaving_sigma_strategy::key_mode::replay, 1e6,
+                    sim::qdisc::codel}));
 
 TEST(blackout_recovery, honest_receiver_rejoins_after_total_outage) {
   // A CBR flood consumes the whole bottleneck for 20 s: the receiver loses

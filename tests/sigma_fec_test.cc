@@ -26,10 +26,12 @@ struct fec_harness {
     // Announce a protected session so joins/validations resolve.
     sim::session_announcement ann;
     ann.session_id = 5;
+    std::vector<sim::group_addr> session_groups;
     for (int g = 1; g <= 4; ++g) {
-      ann.groups.push_back(sim::group_addr{900 + g});
+      session_groups.push_back(sim::group_addr{900 + g});
       net.register_group_source(sim::group_addr{900 + g}, src);
     }
+    ann.groups = std::move(session_groups);
     ann.slot_duration = sim::milliseconds(250);
     ann.sigma_protected = true;
     net.announce_session(ann);

@@ -128,6 +128,42 @@ TEST(sigma_wire, block_from_keys_maps_indices_to_addresses) {
   }
 }
 
+TEST(shared_groups, fan_out_copies_bump_a_refcount_instead_of_deep_copying) {
+  // sigma_unsubscribe::groups and session_announcement::groups ride the
+  // shared_body payload scheme: per-branch packet copies at a multicast
+  // fan-out must share one backing vector.
+  sim::sigma_unsubscribe unsub;
+  unsub.session_id = 4;
+  unsub.groups = {sim::group_addr{1}, sim::group_addr{2}, sim::group_addr{3}};
+  EXPECT_EQ(unsub.groups.use_count(), 1);
+
+  sim::packet original;
+  original.hdr = unsub;
+  EXPECT_EQ(unsub.groups.use_count(), 2);  // packet header shares the body
+
+  // An 8-way fan-out: every branch copy points at the same vector.
+  std::vector<sim::packet> branches(8, original);
+  EXPECT_EQ(unsub.groups.use_count(), 10);
+  for (const sim::packet& b : branches) {
+    const auto* hdr = sim::header_as<sim::sigma_unsubscribe>(b);
+    ASSERT_NE(hdr, nullptr);
+    EXPECT_EQ(&hdr->groups.get(), &unsub.groups.get());
+    EXPECT_EQ(hdr->groups.size(), 3u);
+  }
+  branches.clear();
+  EXPECT_EQ(unsub.groups.use_count(), 2);
+
+  // Announcements share the same mechanics (they are copied into the
+  // network's session directory and handed back by find_session).
+  sim::session_announcement ann;
+  ann.session_id = 4;
+  ann.groups = {sim::group_addr{7}, sim::group_addr{8}};
+  const sim::session_announcement copy = ann;
+  EXPECT_EQ(ann.groups.use_count(), 2);
+  EXPECT_EQ(&copy.groups.get(), &ann.groups.get());
+  EXPECT_EQ(copy.groups.front(), (sim::group_addr{7}));
+}
+
 TEST(sigma_wire, serialized_size_matches_16bit_accounting) {
   // header: 4 (session) + 8 (slot) + 8 (duration) + 1 (bits) + 2 (count).
   // entry: 4 (addr) + 1 (flags) + 2 (top) + 2 (dec, if any) + 2 (inc, if any).
