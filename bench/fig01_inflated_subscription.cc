@@ -11,6 +11,7 @@
 // starves the competition almost completely).
 #include <iostream>
 
+#include "adversary/adversary.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
@@ -41,9 +42,9 @@ int main(int argc, char** argv) {
         exp::testbed d(exp::dumbbell(cfg));
 
         exp::receiver_options attacker;
-        attacker.inflate = true;
-        attacker.inflate_at = sim::seconds(inflate_at_s);
-        attacker.inflate_level = inflate_level;
+        attacker.attack = adversary::inflate_once(
+            sim::seconds(inflate_at_s), adversary::key_mode::guess,
+            inflate_level);
         auto& f1 = d.add_flid_session(exp::flid_mode::dl, {attacker});
         auto& f2 = d.add_flid_session(exp::flid_mode::dl, {exp::receiver_options{}});
         auto& t1 = d.add_tcp_flow();
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
         const sim::time_ns horizon = sim::seconds(duration);
         d.run_until(horizon);
 
-        const sim::time_ns t0 = attacker.inflate_at + sim::seconds(10.0);
+        const sim::time_ns t0 = attacker.attack.start + sim::seconds(10.0);
         exp::sweep_row row;
         row.label = "fig01";
         row.trace("F1_kbps", f1.receiver().monitor().series_kbps());

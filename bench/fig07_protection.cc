@@ -7,6 +7,7 @@
 #include <array>
 #include <iostream>
 
+#include "adversary/adversary.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
@@ -19,12 +20,16 @@ int main(int argc, char** argv) {
   util::flag_set flags("Figure 7: FLID-DS under the inflated-subscription attack");
   flags.add("duration", "200", "experiment length, seconds");
   flags.add("inflate_at", "100", "attack start, seconds");
+  flags.add("attack-keys", "guess",
+            "how unprovable layers are backed: best_effort|replay|guess");
   flags.add("seed", "7", "simulation seed");
   exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
   const double duration = flags.f64("duration");
   const double inflate_at_s = flags.f64("inflate_at");
+  const adversary::key_mode keys =
+      adversary::key_mode_from_flag(flags.str("attack-keys"));
   const auto opts = exp::sweep_options_from_flags(
       flags, static_cast<std::uint64_t>(flags.i64("seed")));
 
@@ -36,9 +41,8 @@ int main(int argc, char** argv) {
         exp::testbed d(exp::dumbbell(cfg));
 
         exp::receiver_options attacker;
-        attacker.inflate = true;
-        attacker.inflate_at = sim::seconds(inflate_at_s);
-        attacker.attack_keys = core::misbehaving_sigma_strategy::key_mode::guess;
+        attacker.attack =
+            adversary::inflate_once(sim::seconds(inflate_at_s), keys);
         auto& f1 = d.add_flid_session(exp::flid_mode::ds, {attacker});
         auto& f2 = d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
         auto& t1 = d.add_tcp_flow();
@@ -47,7 +51,7 @@ int main(int argc, char** argv) {
         const sim::time_ns horizon = sim::seconds(duration);
         d.run_until(horizon);
 
-        const sim::time_ns t0 = attacker.inflate_at + sim::seconds(10.0);
+        const sim::time_ns t0 = attacker.attack.start + sim::seconds(10.0);
         exp::sweep_row row;
         row.label = "fig07";
         row.trace("F1_kbps", f1.receiver().monitor().series_kbps());

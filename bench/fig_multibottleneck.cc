@@ -22,6 +22,7 @@
 #include <array>
 #include <iostream>
 
+#include "adversary/adversary.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
@@ -45,9 +46,9 @@ exp::sweep_row run(exp::flid_mode mode, double duration_s, double inflate_at_s,
   honest_near.at = "r1";
   exp::receiver_options attacker_far;
   attacker_far.at = "r2";
-  attacker_far.inflate = true;
-  attacker_far.inflate_at = sim::seconds(inflate_at_s);
-  attacker_far.inflate_level = 0;  // all groups: the strongest attack
+  // All groups: the strongest attack.
+  attacker_far.attack = adversary::inflate_once(
+      sim::seconds(inflate_at_s), adversary::key_mode::guess, 0);
   auto& session = d.add_flid_session(mode, {honest_near, attacker_far});
 
   // TCP over the whole path plus one flow per segment, so each bottleneck

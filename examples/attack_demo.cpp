@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdio>
 
+#include "adversary/adversary.h"
 #include "exp/testbed.h"
 #include "sim/stats.h"
 
@@ -21,10 +22,10 @@ void run_world(exp::flid_mode mode, const char* title) {
   exp::testbed net(exp::dumbbell(cfg));
 
   exp::receiver_options attacker;
-  attacker.inflate = true;
-  attacker.inflate_at = sim::seconds(60.0);
-  attacker.inflate_level = 6;  // ~760 Kbps cumulative demand
-  attacker.attack_keys = core::misbehaving_sigma_strategy::key_mode::guess;
+  // Inflate to level 6 (~760 Kbps cumulative demand), backing unprovable
+  // layers with random key guesses in the SIGMA world.
+  attacker.attack = adversary::inflate_once(
+      sim::seconds(60.0), adversary::key_mode::guess, 6);
 
   auto& f1 = net.add_flid_session(mode, {attacker});
   auto& f2 = net.add_flid_session(mode, {exp::receiver_options{}});

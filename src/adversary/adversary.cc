@@ -1,0 +1,494 @@
+#include "adversary/adversary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/delta_layered.h"
+#include "util/require.h"
+
+namespace mcc::adversary {
+
+// ---------------------------------------------------------------------------
+// Names and flag parsing
+// ---------------------------------------------------------------------------
+
+const char* strategy_name(strategy_kind k) {
+  switch (k) {
+    case strategy_kind::honest: return "honest";
+    case strategy_kind::inflate_once: return "inflate_once";
+    case strategy_kind::pulse_inflate: return "pulse_inflate";
+    case strategy_kind::churn_flap: return "churn_flap";
+    case strategy_kind::deaf_receiver: return "deaf_receiver";
+    case strategy_kind::collusion: return "collusion";
+  }
+  return "?";
+}
+
+std::optional<strategy_kind> strategy_from_name(const std::string& name) {
+  for (const strategy_kind k :
+       {strategy_kind::honest, strategy_kind::inflate_once,
+        strategy_kind::pulse_inflate, strategy_kind::churn_flap,
+        strategy_kind::deaf_receiver, strategy_kind::collusion}) {
+    if (name == strategy_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+const std::vector<strategy_kind>& all_attacks() {
+  static const std::vector<strategy_kind> kinds = {
+      strategy_kind::inflate_once, strategy_kind::pulse_inflate,
+      strategy_kind::churn_flap, strategy_kind::deaf_receiver,
+      strategy_kind::collusion};
+  return kinds;
+}
+
+const char* key_mode_name(key_mode m) {
+  switch (m) {
+    case key_mode::best_effort: return "best_effort";
+    case key_mode::replay: return "replay";
+    case key_mode::guess: return "guess";
+  }
+  return "?";
+}
+
+std::optional<key_mode> key_mode_from_name(const std::string& name) {
+  for (const key_mode m :
+       {key_mode::best_effort, key_mode::replay, key_mode::guess}) {
+    if (name == key_mode_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
+key_mode key_mode_from_flag(const std::string& name) {
+  const auto m = key_mode_from_name(name);
+  if (!m.has_value()) {
+    // A command-line typo, not a program invariant: same friendly UX as a
+    // bad numeric flag value.
+    std::fprintf(stderr,
+                 "bad value for --attack-keys: '%s' (expected best_effort, "
+                 "replay, or guess)\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  return *m;
+}
+
+// ---------------------------------------------------------------------------
+// Profile factories
+// ---------------------------------------------------------------------------
+
+profile honest() { return profile{}; }
+
+profile inflate_once(sim::time_ns start, key_mode keys, int inflate_level) {
+  profile p;
+  p.kind = strategy_kind::inflate_once;
+  p.start = start;
+  p.keys = keys;
+  p.inflate_level = inflate_level;
+  return p;
+}
+
+profile pulse_inflate(sim::time_ns start, sim::time_ns on, sim::time_ns off,
+                      key_mode keys) {
+  profile p;
+  p.kind = strategy_kind::pulse_inflate;
+  p.start = start;
+  p.pulse_on = on;
+  p.pulse_off = off;
+  p.keys = keys;
+  return p;
+}
+
+profile churn_flap(sim::time_ns start, int period_slots, int depth) {
+  profile p;
+  p.kind = strategy_kind::churn_flap;
+  p.start = start;
+  p.flap_period_slots = period_slots;
+  p.flap_depth = depth;
+  return p;
+}
+
+profile deaf_receiver(sim::time_ns start) {
+  profile p;
+  p.kind = strategy_kind::deaf_receiver;
+  p.start = start;
+  return p;
+}
+
+profile collusion(sim::time_ns start, int coalition, key_mode keys) {
+  profile p;
+  p.kind = strategy_kind::collusion;
+  p.start = start;
+  p.coalition = coalition;
+  p.keys = keys;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Collusion coordinator
+// ---------------------------------------------------------------------------
+
+void collusion_coordinator::deposit(std::int64_t subscribe_slot, int group,
+                                    const crypto::group_key& key) {
+  ++stats_.deposits;
+  keys_[{subscribe_slot, group}] = key;
+  // Keys for long-gone slots can never validate again; prune so the pool
+  // stays bounded over arbitrarily long runs.
+  while (!keys_.empty() &&
+         keys_.begin()->first.first < subscribe_slot - retain_slots) {
+    keys_.erase(keys_.begin());
+  }
+}
+
+const crypto::group_key* collusion_coordinator::lookup(
+    std::int64_t subscribe_slot, int group) {
+  ++stats_.lookups;
+  const auto it = keys_.find({subscribe_slot, group});
+  if (it == keys_.end()) return nullptr;
+  ++stats_.hits;
+  return &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Plain-IGMP (FLID-DL) attack strategies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Resolved attack ceiling: <= 0 means "all groups".
+int ceiling(const flid::flid_receiver& r, int level) {
+  return level > 0 ? std::min(level, r.config().num_groups)
+                   : r.config().num_groups;
+}
+
+/// pulse_inflate over raw IGMP: inflate to the ceiling during on phases,
+/// collapse to the minimal layer at each on->off edge, then behave honestly
+/// until the next pulse.
+class pulse_plain_strategy : public flid::subscription_strategy {
+ public:
+  pulse_plain_strategy(sim::time_ns start, sim::time_ns on, sim::time_ns off,
+                       int level)
+      : start_(start), on_(on), off_(off), level_(level) {
+    util::require(on > 0 && off > 0, "pulse_inflate: phases must be positive");
+  }
+
+  void session_start(flid::flid_receiver& r) override {
+    honest_.session_start(r);
+  }
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    const sim::time_ns now = r.net().sched().now();
+    if (now < start_) return honest_.on_slot(r, s);
+    const bool on_phase = (now - start_) % (on_ + off_) < on_;
+    if (on_phase) {
+      was_on_ = true;
+      const int n = ceiling(r, level_);
+      for (int g = r.level() + 1; g <= n; ++g) {
+        r.membership().join(r.config().group(g));
+      }
+      // The honest phase may have climbed past a capped ceiling: leave the
+      // excess, or those memberships would leak forever (set_local_level
+      // alone never signals the network).
+      for (int g = r.level(); g > n; --g) {
+        r.membership().leave(r.config().group(g));
+      }
+      r.set_local_level(n);
+      return n;  // ignore congestion while the pulse is live
+    }
+    if (was_on_) {
+      // On -> off edge: shed everything at once so the next pulse restarts
+      // from a clean congestion window.
+      was_on_ = false;
+      for (int g = r.level(); g >= 2; --g) {
+        r.membership().leave(r.config().group(g));
+      }
+      r.set_local_level(1);
+      return 1;
+    }
+    return honest_.on_slot(r, s);
+  }
+
+ private:
+  sim::time_ns start_, on_, off_;
+  int level_;
+  bool was_on_ = false;
+  flid::honest_plain_strategy honest_;
+};
+
+/// churn_flap over raw IGMP: alternate every `period` slots between joining
+/// up to the flap depth and collapsing to the minimal layer.
+class churn_plain_strategy : public flid::subscription_strategy {
+ public:
+  churn_plain_strategy(sim::time_ns start, int period, int depth)
+      : start_(start), period_(std::max(1, period)), depth_(depth) {}
+
+  void session_start(flid::flid_receiver& r) override {
+    honest_.session_start(r);
+  }
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    if (r.net().sched().now() < start_) return honest_.on_slot(r, s);
+    if (first_slot_ < 0) first_slot_ = s.slot;
+    const bool up = (s.slot - first_slot_) / period_ % 2 == 0;
+    const int n = ceiling(r, depth_);
+    if (up && r.level() < n) {
+      for (int g = r.level() + 1; g <= n; ++g) {
+        r.membership().join(r.config().group(g));
+      }
+      r.set_local_level(n);
+    } else if (!up && r.level() > 1) {
+      for (int g = r.level(); g >= 2; --g) {
+        r.membership().leave(r.config().group(g));
+      }
+      r.set_local_level(1);
+    }
+    return r.level();
+  }
+
+ private:
+  sim::time_ns start_;
+  int period_;
+  int depth_;
+  std::int64_t first_slot_ = -1;
+  flid::honest_plain_strategy honest_;
+};
+
+/// deaf_receiver over raw IGMP: keeps taking authorized upgrades but never
+/// reacts to congestion and never leaves a group.
+class deaf_plain_strategy : public flid::subscription_strategy {
+ public:
+  explicit deaf_plain_strategy(sim::time_ns start) : start_(start) {}
+
+  void session_start(flid::flid_receiver& r) override {
+    honest_.session_start(r);
+  }
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    if (r.net().sched().now() < start_) return honest_.on_slot(r, s);
+    const int level = r.level();
+    if (level < r.config().num_groups && s.upgrade_authorized(level + 1)) {
+      r.membership().join(r.config().group(level + 1));
+      r.set_local_level(level + 1);
+    }
+    return r.level();
+  }
+
+ private:
+  sim::time_ns start_;
+  flid::honest_plain_strategy honest_;
+};
+
+// ---------------------------------------------------------------------------
+// SIGMA (FLID-DS) attack strategies
+// ---------------------------------------------------------------------------
+
+/// pulse_inflate against DELTA/SIGMA: the base misbehaving machinery, gated
+/// by an on/off schedule instead of a single onset. Off phases run the
+/// honest path, which re-proves keys at the entitled level — so every pulse
+/// starts from a fresh entitlement and SIGMA's containment clock restarts.
+class pulse_sigma_strategy : public core::misbehaving_sigma_strategy {
+ public:
+  pulse_sigma_strategy(sim::time_ns start, sim::time_ns on, sim::time_ns off,
+                       key_mode mode, std::uint64_t seed)
+      : misbehaving_sigma_strategy(start, mode, seed), on_(on), off_(off) {
+    util::require(on > 0 && off > 0, "pulse_inflate: phases must be positive");
+  }
+
+ protected:
+  [[nodiscard]] bool attack_active() const override {
+    const sim::time_ns now = net_->sched().now();
+    if (now < inflate_at()) return false;
+    return (now - inflate_at()) % (on_ + off_) < on_;
+  }
+
+ private:
+  sim::time_ns on_, off_;
+};
+
+/// churn_flap against SIGMA: on up phases run the full honest machinery
+/// (prove keys, subscribe, climb); on down phases explicitly unsubscribe
+/// everything above the minimal layer. Every flap grafts and prunes the
+/// tree and allocates/evicts per-interface authorization state.
+class churn_sigma_strategy : public core::honest_sigma_strategy {
+ public:
+  churn_sigma_strategy(sim::time_ns start, int period)
+      : start_(start), period_(std::max(1, period)) {}
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    if (net_->sched().now() < start_) return honest_action(r, s);
+    if (first_slot_ < 0) first_slot_ = s.slot;
+    const bool up = (s.slot - first_slot_) / period_ % 2 == 0;
+    if (up) return honest_action(r, s);
+    if (r.level() > 1) {
+      std::vector<sim::group_addr> dropped;
+      for (int g = 2; g <= r.level(); ++g) {
+        dropped.push_back(r.config().group(g));
+      }
+      send_unsubscribe(dropped);
+      r.set_local_level(1);
+    }
+    return r.level();
+  }
+
+ private:
+  sim::time_ns start_;
+  int period_;
+  std::int64_t first_slot_ = -1;
+};
+
+/// deaf_receiver against SIGMA: proves whatever keys its reception state
+/// entitles it to and keeps climbing, but never unsubscribes and never
+/// lowers its claimed level. The router's authorization lapse is the only
+/// thing that shrinks its delivery.
+class deaf_sigma_strategy : public core::honest_sigma_strategy {
+ public:
+  explicit deaf_sigma_strategy(sim::time_ns start) : start_(start) {}
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    if (net_->sched().now() < start_) return honest_action(r, s);
+    const flid::flid_config& cfg = r.config();
+
+    // Reconstruct relative to the prefix actually delivered (the router's
+    // grant), like every strategy must for the provable prefix not to
+    // shrink each slot.
+    int achieved = 0;
+    for (int g = 1; g <= cfg.num_groups; ++g) {
+      if (s.groups[static_cast<std::size_t>(g)].received == 0) break;
+      achieved = g;
+    }
+    if (achieved == 0) {
+      // Cut off. Even a deaf client wants back in; it just never backs off.
+      if (net_->sched().now() - last_session_join_ >= cfg.slot_duration) {
+        ++stats_.cutoffs;
+        send_session_join();
+      }
+      return r.level();
+    }
+    flid::slot_summary eff = s;
+    eff.level = achieved;
+    eff.congested = false;
+    for (int g = 1; g <= achieved; ++g) {
+      if (!eff.groups[static_cast<std::size_t>(g)].complete()) {
+        eff.congested = true;
+        break;
+      }
+    }
+    const core::delta_reconstruction rec = delta_->reconstruct(eff);
+    on_keys_reconstructed(s.slot + core::key_lead_slots, rec.keys);
+    std::vector<std::pair<sim::group_addr, crypto::group_key>> pairs;
+    pairs.reserve(rec.keys.size());
+    for (const auto& [g, key] : rec.keys) {
+      pairs.emplace_back(cfg.group(g), maybe_perturb(key));
+    }
+    send_subscribe(s.slot + core::key_lead_slots, pairs);
+
+    // Climb when entitled, never descend, never unsubscribe.
+    const int target = std::max(r.level(), rec.next_level);
+    r.set_local_level(target);
+    return target;
+  }
+
+ private:
+  sim::time_ns start_;
+};
+
+/// collusion against SIGMA: the misbehaving machinery with the coalition's
+/// key pool as a side channel — every reconstruction is deposited, and
+/// layers beyond the own provable prefix are backed by pool keys proved by
+/// a better-placed colluder (paper section 4.2's key-sharing attack).
+class collusion_sigma_strategy : public core::misbehaving_sigma_strategy {
+ public:
+  collusion_sigma_strategy(sim::time_ns start, key_mode mode,
+                           std::uint64_t seed, collusion_coordinator& pool)
+      : misbehaving_sigma_strategy(start, mode, seed), pool_(&pool) {}
+
+ protected:
+  void on_keys_reconstructed(
+      std::int64_t subscribe_slot,
+      const std::vector<std::pair<int, crypto::group_key>>& keys) override {
+    for (const auto& [g, key] : keys) pool_->deposit(subscribe_slot, g, key);
+  }
+
+  bool sidechannel_keys(
+      int group, std::int64_t subscribe_slot, const flid::flid_config& cfg,
+      std::vector<std::pair<sim::group_addr, crypto::group_key>>& pairs)
+      override {
+    const crypto::group_key* key = pool_->lookup(subscribe_slot, group);
+    if (key == nullptr) return false;
+    pairs.emplace_back(cfg.group(group), *key);
+    return true;
+  }
+
+ private:
+  collusion_coordinator* pool_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<flid::subscription_strategy> make_strategy(
+    protocol proto, const profile& p, const build_context& ctx) {
+  // The seed source is consulted only for strategies that consume
+  // randomness, and exactly once each — the call order defines the world's
+  // seed chain, so ported scenarios keep their historical streams.
+  const auto seed = [&ctx] {
+    util::require(static_cast<bool>(ctx.next_seed),
+                  "adversary::make_strategy: seed source required");
+    return ctx.next_seed();
+  };
+  if (proto == protocol::plain) {
+    switch (p.kind) {
+      case strategy_kind::honest:
+        return std::make_unique<flid::honest_plain_strategy>();
+      case strategy_kind::inflate_once:
+        return std::make_unique<flid::inflating_plain_strategy>(
+            p.start, p.inflate_level);
+      case strategy_kind::pulse_inflate:
+        return std::make_unique<pulse_plain_strategy>(
+            p.start, p.pulse_on, p.pulse_off, p.inflate_level);
+      case strategy_kind::churn_flap:
+        return std::make_unique<churn_plain_strategy>(
+            p.start, p.flap_period_slots, p.flap_depth);
+      case strategy_kind::deaf_receiver:
+        return std::make_unique<deaf_plain_strategy>(p.start);
+      case strategy_kind::collusion:
+        // No keys exist in the plain world; each colluder degenerates to an
+        // independent inflater.
+        return std::make_unique<flid::inflating_plain_strategy>(
+            p.start, p.inflate_level);
+    }
+  } else {
+    switch (p.kind) {
+      case strategy_kind::honest:
+        return std::make_unique<core::honest_sigma_strategy>();
+      case strategy_kind::inflate_once:
+        return std::make_unique<core::misbehaving_sigma_strategy>(
+            p.start, p.keys, seed());
+      case strategy_kind::pulse_inflate:
+        return std::make_unique<pulse_sigma_strategy>(
+            p.start, p.pulse_on, p.pulse_off, p.keys, seed());
+      case strategy_kind::churn_flap:
+        return std::make_unique<churn_sigma_strategy>(p.start,
+                                                      p.flap_period_slots);
+      case strategy_kind::deaf_receiver:
+        return std::make_unique<deaf_sigma_strategy>(p.start);
+      case strategy_kind::collusion: {
+        util::require(static_cast<bool>(ctx.coordinator),
+                      "adversary::make_strategy: collusion needs a "
+                      "coordinator source");
+        collusion_coordinator& pool = ctx.coordinator(p.coalition);
+        return std::make_unique<collusion_sigma_strategy>(p.start, p.keys,
+                                                          seed(), pool);
+      }
+    }
+  }
+  util::require(false, "adversary::make_strategy: unknown strategy kind",
+                static_cast<int>(p.kind));
+  return nullptr;
+}
+
+}  // namespace mcc::adversary

@@ -1,0 +1,195 @@
+// Pluggable adversary subsystem: scripted attack strategies for multicast
+// receivers, built on the same subscription_strategy seam the honest
+// protocol uses.
+//
+// A receiver's (mis)behaviour is described declaratively by an
+// adversary::profile — which attack, when it starts, and its shape
+// parameters — and compiled into a concrete flid::subscription_strategy by
+// make_strategy() for either protocol world:
+//
+//   * protocol::plain — raw IGMP membership (FLID-DL, the unprotected world
+//     of paper Figure 1): the router honours any join.
+//   * protocol::sigma — key-based access control (FLID-DS, Figures 6/7):
+//     every claimed layer needs a DELTA-reconstructible key, so the attack
+//     surface is the key machinery itself.
+//
+// Five attack strategies ship (plus honest):
+//
+//   inflate_once   The paper's attack: honest until `start`, then claim the
+//                  maximal subscription forever and ignore congestion. In
+//                  SIGMA mode, unprovable layers are backed by the
+//                  configured key_mode (best-effort / stale replay / random
+//                  guessing, section 4.2). Ports the legacy
+//                  receiver_options::inflate fields bit-exactly.
+//   pulse_inflate  On/off oscillation of the same attack, tuned against
+//                  DELTA's measurement windows: inflate for `pulse_on`,
+//                  behave honestly for `pulse_off`, repeat. The off phases
+//                  let the attacker re-prove keys at its entitled level, so
+//                  each on phase restarts from a clean slate — the
+//                  worst case for time-to-containment.
+//   churn_flap     Rapid join/leave across layers: alternate between
+//                  climbing and collapsing the subscription every
+//                  `flap_period_slots` slots, thrashing IGMP graft/prune
+//                  and SIGMA's per-interface authorization state. A state
+//                  attack, not a bandwidth attack.
+//   deaf_receiver  Ignores congestion signals and never drops a layer:
+//                  climbs whenever the protocol authorizes an upgrade and
+//                  holds everything it ever had. The "broken client"
+//                  shape rather than a deliberate thief.
+//   collusion      N receivers (one coalition id) pool reconstructed keys
+//                  through a shared collusion_coordinator: each colluder
+//                  deposits what it can prove and replays pool keys for
+//                  layers its own congestion state does not entitle it to
+//                  (paper section 4.2's key-sharing attack; defeated by
+//                  interface keying). In plain mode there are no keys to
+//                  share, so collusion degenerates to per-member inflation.
+//
+// All strategies are deterministic: randomness comes only from seeds handed
+// in by the builder (exp::testbed's seed chain), so attack runs are
+// bit-identical across exp::sweep --jobs counts, like the rest of the
+// engine.
+#ifndef MCC_ADVERSARY_ADVERSARY_H
+#define MCC_ADVERSARY_ADVERSARY_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/flid_ds.h"
+#include "crypto/key.h"
+#include "flid/flid_receiver.h"
+#include "sim/time.h"
+
+namespace mcc::adversary {
+
+/// Which protocol world the strategy drives (see file comment).
+enum class protocol { plain, sigma };
+
+/// The attack taxonomy. `honest` is a first-class member so a profile can
+/// express "no attack" and factories need no special case.
+enum class strategy_kind {
+  honest,
+  inflate_once,
+  pulse_inflate,
+  churn_flap,
+  deaf_receiver,
+  collusion,
+};
+
+/// Canonical flag spelling ("inflate_once", "churn_flap", ...).
+[[nodiscard]] const char* strategy_name(strategy_kind k);
+/// Inverse of strategy_name; nullopt on unknown.
+[[nodiscard]] std::optional<strategy_kind> strategy_from_name(
+    const std::string& name);
+/// Every attacking kind, in declaration order (excludes honest) — the
+/// default strategy axis of the attack-matrix bench.
+[[nodiscard]] const std::vector<strategy_kind>& all_attacks();
+
+/// How a SIGMA attacker backs layers it cannot prove (hoisted alias of
+/// core::misbehaving_sigma_strategy::key_mode).
+using key_mode = core::misbehaving_sigma_strategy::key_mode;
+
+/// Canonical flag spelling ("best_effort", "replay", "guess").
+[[nodiscard]] const char* key_mode_name(key_mode m);
+/// Inverse of key_mode_name; nullopt on unknown.
+[[nodiscard]] std::optional<key_mode> key_mode_from_name(
+    const std::string& name);
+/// Bench-main glue: like key_mode_from_name, but an unknown name prints a
+/// friendly message and exits(1) — the shared parser every bench with an
+/// --attack-keys flag uses instead of rolling its own.
+[[nodiscard]] key_mode key_mode_from_flag(const std::string& name);
+
+/// Declarative description of one receiver's (mis)behaviour. Defaults are
+/// honest; factories below fill the fields each strategy reads.
+struct profile {
+  strategy_kind kind = strategy_kind::honest;
+  /// Attack onset. Every strategy behaves honestly before this time.
+  sim::time_ns start = 0;
+  /// inflate_once / pulse_inflate, plain (IGMP) world only: level the
+  /// attacker claims (<= 0: all groups, the strongest attack). SIGMA
+  /// attackers always claim everything — entitlement, not the script, is
+  /// what caps them (matching the legacy receiver_options semantics).
+  int inflate_level = 0;
+  /// SIGMA mode: how unprovable layers are backed.
+  key_mode keys = key_mode::guess;
+  /// pulse_inflate: attack / recovery phase durations.
+  sim::time_ns pulse_on = sim::seconds(5.0);
+  sim::time_ns pulse_off = sim::seconds(5.0);
+  /// churn_flap: slots per phase (1 = toggle every slot) and — in the
+  /// plain world — the level flapped up to (<= 0: all groups). The SIGMA
+  /// churner climbs by honest entitlement instead; depth does not apply.
+  int flap_period_slots = 1;
+  int flap_depth = 0;
+  /// collusion: receivers sharing a coalition id share one key pool.
+  int coalition = 1;
+
+  [[nodiscard]] bool attacks() const { return kind != strategy_kind::honest; }
+};
+
+// Profile factories, one per strategy.
+[[nodiscard]] profile honest();
+[[nodiscard]] profile inflate_once(sim::time_ns start,
+                                   key_mode keys = key_mode::guess,
+                                   int inflate_level = 0);
+[[nodiscard]] profile pulse_inflate(sim::time_ns start,
+                                    sim::time_ns on = sim::seconds(5.0),
+                                    sim::time_ns off = sim::seconds(5.0),
+                                    key_mode keys = key_mode::guess);
+[[nodiscard]] profile churn_flap(sim::time_ns start, int period_slots = 1,
+                                 int depth = 0);
+[[nodiscard]] profile deaf_receiver(sim::time_ns start);
+[[nodiscard]] profile collusion(sim::time_ns start, int coalition = 1,
+                                key_mode keys = key_mode::best_effort);
+
+/// Shared key pool of one coalition: colluders deposit every key they
+/// reconstruct and look up keys for layers they cannot prove themselves.
+/// Single-world state (one simulated scheduler), so plain maps keep it
+/// deterministic.
+class collusion_coordinator {
+ public:
+  struct counters {
+    std::uint64_t deposits = 0;  // keys entered into the pool
+    std::uint64_t lookups = 0;   // queries for unprovable layers
+    std::uint64_t hits = 0;      // queries answered from the pool
+  };
+
+  void deposit(std::int64_t subscribe_slot, int group,
+               const crypto::group_key& key);
+  /// Pool key for (slot, group); nullptr on miss. Counts lookups/hits.
+  [[nodiscard]] const crypto::group_key* lookup(std::int64_t subscribe_slot,
+                                                int group);
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
+ private:
+  /// Keys are useless a few slots after their target slot; deposits prune
+  /// anything older than this window so the pool stays O(window x groups).
+  static constexpr std::int64_t retain_slots = 8;
+
+  std::map<std::pair<std::int64_t, int>, crypto::group_key> keys_;
+  counters stats_;
+};
+
+/// Everything make_strategy needs from its builder besides the profile:
+/// a seed source (called once per strategy that consumes randomness — the
+/// call order defines the world's seed chain, so the factory only calls it
+/// when the strategy actually needs a stream) and the coalition pools.
+struct build_context {
+  std::function<std::uint64_t()> next_seed;
+  std::function<collusion_coordinator&(int coalition)> coordinator;
+};
+
+/// Compiles a profile into a live strategy for the given protocol world.
+/// inflate_once compiles to the exact legacy classes
+/// (flid::inflating_plain_strategy / core::misbehaving_sigma_strategy), so
+/// ported scenarios reproduce bit-identically.
+[[nodiscard]] std::unique_ptr<flid::subscription_strategy> make_strategy(
+    protocol proto, const profile& p, const build_context& ctx);
+
+}  // namespace mcc::adversary
+
+#endif  // MCC_ADVERSARY_ADVERSARY_H

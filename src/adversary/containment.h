@@ -1,0 +1,83 @@
+// Containment metrics: how well the protocol held a misbehaving receiver.
+//
+// A containment_report is computed per attacker from throughput monitors
+// after a run:
+//
+//   * attacker goodput share — the attacker's post-attack goodput as a share
+//     of everything measured (attacker + honest flows). Under working
+//     enforcement this stays near the fair share; under Figure-1-style
+//     theft it approaches 1.
+//   * honest-flow damage ratio — how much of the honest flows' pre-attack
+//     goodput the attack destroyed (0 = unharmed, 1 = starved out).
+//   * time-to-containment — how long after the attack onset the attacker's
+//     goodput was last seen above its containment bound (bound_factor x the
+//     honest per-flow mean). 0 means the attack never paid at all; -1 means
+//     the attacker was still above the bound at the horizon (not
+//     contained).
+//
+// All three are pure functions of recorded monitors, so they apply to any
+// strategy x topology x qdisc cell of the attack matrix.
+#ifndef MCC_ADVERSARY_CONTAINMENT_H
+#define MCC_ADVERSARY_CONTAINMENT_H
+
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace mcc::adversary {
+
+struct containment_config {
+  sim::time_ns attack_start = 0;
+  sim::time_ns horizon = 0;
+  /// Transient skipped after the onset before "after" means are taken.
+  sim::time_ns settle = sim::seconds(10.0);
+  /// Pre-attack reference window: [attack_start - pre, attack_start).
+  sim::time_ns pre = sim::seconds(20.0);
+  /// Resolution of the time-to-containment scan, and the smoothing window
+  /// each scanned rate is averaged over (slot/layer quantization makes
+  /// 1-second raw bins flicker).
+  sim::time_ns bin = sim::seconds(1.0);
+  sim::time_ns smooth = sim::seconds(5.0);
+  /// Contained = attacker goodput at or below bound_factor x the reference
+  /// per-flow mean. Layers are spaced by a 1.5x rate multiplier, so the
+  /// default grants one layer of quantization headroom.
+  double bound_factor = 1.6;
+  /// Reference floor so a starved honest set cannot make the bound vacuous.
+  double floor_kbps = 50.0;
+};
+
+struct containment_report {
+  double attacker_kbps = 0.0;       // mean over [start + settle, horizon)
+  double honest_kbps = 0.0;         // per-flow honest mean, same window
+  double honest_before_kbps = 0.0;  // per-flow honest mean before the onset
+  double attacker_share = 0.0;      // attacker / (attacker + all honest)
+  double honest_damage = 0.0;       // 1 - after/before, clamped to [0, 1]
+  double containment_bound_kbps = 0.0;
+  double time_to_containment_s = -1.0;  // -1 = not contained by horizon
+  bool contained = false;
+};
+
+/// Computes the report for one attacker against a set of honest monitors
+/// (multicast receivers and/or unicast sinks). Requires
+/// attack_start + settle < horizon and at least one honest monitor. The
+/// containment bound is referenced to the honest per-flow mean.
+[[nodiscard]] containment_report measure_containment(
+    const sim::throughput_monitor& attacker,
+    const std::vector<const sim::throughput_monitor*>& honest,
+    const containment_config& cfg);
+
+/// Same, with an explicit reference set for the containment bound: `honest`
+/// still defines share and damage, but the bound tracks the per-flow mean
+/// of `reference` (typically the attacker's honest same-session peers,
+/// whose layered rate is the natural yardstick — unicast victims run a
+/// different control law).
+[[nodiscard]] containment_report measure_containment(
+    const sim::throughput_monitor& attacker,
+    const std::vector<const sim::throughput_monitor*>& honest,
+    const std::vector<const sim::throughput_monitor*>& reference,
+    const containment_config& cfg);
+
+}  // namespace mcc::adversary
+
+#endif  // MCC_ADVERSARY_CONTAINMENT_H

@@ -187,6 +187,7 @@ int honest_sigma_strategy::honest_action(flid::flid_receiver& r,
   }
 
   const delta_reconstruction rec = delta_->reconstruct(eff);
+  on_keys_reconstructed(s.slot + key_lead_slots, rec.keys);
   if (rec.next_level == 0) {
     // Congested at the minimal level: no reconstructible keys, so the
     // current authorization lapses after slot s+1. Request keyless
@@ -245,11 +246,20 @@ misbehaving_sigma_strategy::misbehaving_sigma_strategy(sim::time_ns inflate_at,
       rng_(seed),
       guesses_per_group_(guesses_per_group) {}
 
+bool misbehaving_sigma_strategy::attack_active() const {
+  return net_->sched().now() >= inflate_at_;
+}
+
 int misbehaving_sigma_strategy::on_slot(flid::flid_receiver& r,
                                         const flid::slot_summary& s) {
-  if (net_->sched().now() < inflate_at_) {
+  if (!attack_active()) {
     return honest_action(r, s);
   }
+  return attack_action(r, s);
+}
+
+int misbehaving_sigma_strategy::attack_action(flid::flid_receiver& r,
+                                              const flid::slot_summary& s) {
   ++attack_stats_.attack_slots;
   const flid::flid_config& cfg = r.config();
   const int n = cfg.num_groups;
@@ -287,6 +297,7 @@ int misbehaving_sigma_strategy::on_slot(flid::flid_receiver& r,
   int proven = 0;
   if (achieved > 0) {
     const delta_reconstruction rec = delta_->reconstruct(eff);
+    on_keys_reconstructed(s.slot + key_lead_slots, rec.keys);
     proven = rec.next_level;
     for (const auto& [g, key] : rec.keys) {
       pairs.emplace_back(cfg.group(g), key);
@@ -302,6 +313,7 @@ int misbehaving_sigma_strategy::on_slot(flid::flid_receiver& r,
 
   // Inflation attempts for every group beyond the provable prefix.
   for (int g = proven + 1; g <= n; ++g) {
+    if (sidechannel_keys(g, s.slot + key_lead_slots, cfg, pairs)) continue;
     if (mode_ == key_mode::replay) {
       auto it = stale_keys_.find(g);
       if (it != stale_keys_.end()) {

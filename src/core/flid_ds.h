@@ -67,6 +67,15 @@ class honest_sigma_strategy : public flid::subscription_strategy,
   /// Shared mechanics for subclasses (the misbehaving strategy reuses the
   /// honest machinery but lies about its subscription decisions).
   void attach(flid::flid_receiver& r);
+  /// Key-report hook: observes every DELTA reconstruction result (keys
+  /// proving `subscribe_slot`) before submission. Adversary strategies that
+  /// pool or leak keys (collusion) tap in here; the default does nothing.
+  virtual void on_keys_reconstructed(
+      std::int64_t subscribe_slot,
+      const std::vector<std::pair<int, crypto::group_key>>& keys) {
+    (void)subscribe_slot;
+    (void)keys;
+  }
   void send_subscribe(
       std::int64_t slot,
       const std::vector<std::pair<sim::group_addr, crypto::group_key>>& pairs);
@@ -124,6 +133,29 @@ class misbehaving_sigma_strategy : public honest_sigma_strategy {
   [[nodiscard]] const attack_counters& attack_stats() const {
     return attack_stats_;
   }
+
+ protected:
+  /// Whether the attack is live right now. The base checks `inflate_at`;
+  /// pulse-style subclasses overlay their own on/off schedule. Slots where
+  /// this is false run the honest machinery (which re-proves keys, so the
+  /// next active phase starts from a clean entitlement).
+  [[nodiscard]] virtual bool attack_active() const;
+  /// One attacking slot: claim everything locally, submit every key that
+  /// might stick. Shared by subclasses that gate the attack differently.
+  int attack_action(flid::flid_receiver& r, const flid::slot_summary& s);
+  /// Out-of-band keys for a group beyond the provable prefix (the collusion
+  /// pool). Appending a pair and returning true suppresses replay/guessing
+  /// for that group; the default has no side channel.
+  virtual bool sidechannel_keys(
+      int group, std::int64_t subscribe_slot, const flid::flid_config& cfg,
+      std::vector<std::pair<sim::group_addr, crypto::group_key>>& pairs) {
+    (void)group;
+    (void)subscribe_slot;
+    (void)cfg;
+    (void)pairs;
+    return false;
+  }
+  [[nodiscard]] sim::time_ns inflate_at() const { return inflate_at_; }
 
  private:
   sim::time_ns inflate_at_;

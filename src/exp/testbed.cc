@@ -13,6 +13,17 @@ std::int64_t queue_bytes(double bps, double bdp, sim::time_ns rtt) {
 }
 }  // namespace
 
+adversary::profile receiver_options::effective_profile() const {
+  if (attack.attacks()) {
+    util::require(!inflate,
+                  "receiver_options: set either .attack or the legacy "
+                  "inflate fields, not both");
+    return attack;
+  }
+  if (!inflate) return attack;
+  return adversary::inflate_once(inflate_at, attack_keys, inflate_level);
+}
+
 testbed::testbed(testbed_config cfg)
     : cfg_(std::move(cfg)), net_(sched_), seed_state_(cfg_.seed) {
   util::require(!cfg_.topology.empty(), "testbed: empty topology");
@@ -63,6 +74,17 @@ core::sigma_router_agent& testbed::sigma(const std::string& name) {
   return *existing_edge_or_new(name).sigma;
 }
 
+adversary::collusion_coordinator& testbed::coordinator(int coalition) {
+  auto it = coordinators_.find(coalition);
+  if (it == coordinators_.end()) {
+    it = coordinators_
+             .emplace(coalition,
+                      std::make_unique<adversary::collusion_coordinator>())
+             .first;
+  }
+  return *it->second;
+}
+
 sim::node_id testbed::attach_host(const std::string& name,
                                   const std::string& router_name) {
   return attach_host(name, router_name, cfg_.access_bps, cfg_.access_delay);
@@ -88,6 +110,11 @@ sim::node_id testbed::attach_host(const std::string& name,
   ac.bps = bps;
   ac.delay = delay;
   ac.queue_capacity_bytes = queue_bytes(bps, cfg_.buffer_bdp, cfg_.base_rtt);
+  // Edge-queue experiments select the access discipline per testbed; the
+  // default stays drop-tail. An unset AQM seed inherits the testbed seed so
+  // probabilistic policies follow the run's seed sweep.
+  ac.aqm = cfg_.access_aqm;
+  if (ac.aqm.seed == 0) ac.aqm.seed = cfg_.seed;
   net_.connect(h, r, ac);
   return h;
 }
@@ -152,30 +179,27 @@ flid_session& testbed::add_flid_session(
   }
   session->sender->start(opts.sender_start);
 
+  // Strategies are compiled from adversary profiles. The build context's
+  // seed source is the testbed seed chain: the factory draws only for
+  // strategies that consume randomness, preserving historical streams for
+  // ported scenarios.
+  adversary::build_context actx;
+  actx.next_seed = [this] { return next_seed(); };
+  actx.coordinator = [this](int coalition) -> adversary::collusion_coordinator& {
+    return coordinator(coalition);
+  };
+  const adversary::protocol proto = mode == flid_mode::dl
+                                        ? adversary::protocol::plain
+                                        : adversary::protocol::sigma;
   int ridx = 0;
   for (const receiver_options& opt : receivers) {
     const std::string& site = site_or(opt.at, cfg_.receiver_site);
     const sim::node_id rh = attach_host(
         "mc_rcv_" + std::to_string(sid) + "_" + std::to_string(ridx++), site,
         cfg_.access_bps, opt.access_delay.value_or(cfg_.access_delay));
-    std::unique_ptr<flid::subscription_strategy> strategy;
-    if (mode == flid_mode::dl) {
-      if (opt.inflate) {
-        strategy = std::make_unique<flid::inflating_plain_strategy>(
-            opt.inflate_at, opt.inflate_level);
-      } else {
-        strategy = std::make_unique<flid::honest_plain_strategy>();
-      }
-    } else {
-      if (opt.inflate) {
-        strategy = std::make_unique<core::misbehaving_sigma_strategy>(
-            opt.inflate_at, opt.attack_keys, next_seed());
-      } else {
-        strategy = std::make_unique<core::honest_sigma_strategy>();
-      }
-    }
     auto receiver = std::make_unique<flid::flid_receiver>(
-        net_, rh, topo_.node(site), cfg, std::move(strategy));
+        net_, rh, topo_.node(site), cfg,
+        adversary::make_strategy(proto, opt.effective_profile(), actx));
     receiver->start(opt.start_time);
     session->receivers.push_back(std::move(receiver));
   }
@@ -282,6 +306,7 @@ testbed_config scenario(sim::topology_builder topo, std::string sender_site,
   out.access_delay = cfg.access_delay;
   out.buffer_bdp = cfg.buffer_bdp;
   out.base_rtt = cfg.base_rtt;
+  out.access_aqm = cfg.access_aqm;
   out.seed = cfg.seed;
   return out;
 }
@@ -342,11 +367,7 @@ std::vector<sim::qdisc> qdisc_list_from_flags(const util::flag_set& flags) {
             sim::qdisc::codel};
   }
   std::vector<sim::qdisc> out;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string name =
-        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+  for (const std::string& name : util::split_csv(spec)) {
     const auto d = sim::qdisc_from_name(name);
     if (!d.has_value()) {
       // A typo on the command line, not a program invariant: fail with the
@@ -358,8 +379,6 @@ std::vector<sim::qdisc> qdisc_list_from_flags(const util::flag_set& flags) {
       std::exit(1);
     }
     out.push_back(*d);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
   }
   return out;
 }

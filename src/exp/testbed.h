@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "core/flid_ds.h"
 #include "core/sigma_router.h"
 #include "flid/flid_receiver.h"
@@ -47,12 +48,22 @@ struct receiver_options {
   std::optional<sim::time_ns> access_delay;
   /// Edge router the receiver attaches to; empty = default receiver site.
   std::string at;
-  bool inflate = false;  // launch the inflated-subscription attack
+  /// The receiver's (mis)behaviour: any adversary strategy, or honest (the
+  /// default). See adversary::profile and its factories.
+  adversary::profile attack;
+  /// DEPRECATED back-compat shim for the pre-adversary API: `inflate` et al
+  /// describe exactly adversary::inflate_once(inflate_at, attack_keys,
+  /// inflate_level). Setting both `inflate` and a non-honest `attack` is
+  /// rejected loudly. New code should use `attack`.
+  bool inflate = false;
   sim::time_ns inflate_at = 0;
-  /// Level the attacker inflates to in DL mode (<= 0: all groups).
-  int inflate_level = 0;
+  int inflate_level = 0;  // <= 0: all groups (DL mode)
   core::misbehaving_sigma_strategy::key_mode attack_keys =
       core::misbehaving_sigma_strategy::key_mode::guess;
+
+  /// The profile this receiver runs: `attack`, unless the legacy shim
+  /// fields are set, which translate to an inflate_once profile.
+  [[nodiscard]] adversary::profile effective_profile() const;
 };
 
 /// Per-session placement.
@@ -82,6 +93,10 @@ struct testbed_config {
   /// (link rate x base_rtt).
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
+  /// Queue discipline of access links (drop-tail by default — backbone AQM
+  /// is configured per scenario/link). An unset aqm.seed inherits the
+  /// testbed seed.
+  sim::aqm_config access_aqm;
   std::uint64_t seed = 1;
 };
 
@@ -132,6 +147,11 @@ class testbed {
   /// there (or on first access here), so interior routers stay agent-free.
   [[nodiscard]] mcast::igmp_agent& igmp(const std::string& name = "");
   [[nodiscard]] core::sigma_router_agent& sigma(const std::string& name = "");
+
+  /// Key pool of a collusion coalition, created on first use. Receivers
+  /// whose profile is collusion with this coalition id share it; tests and
+  /// benches read its deposit/hit counters here.
+  [[nodiscard]] adversary::collusion_coordinator& coordinator(int coalition);
 
   /// Paper section 5.1 defaults for a session in the given mode: 10 groups,
   /// 100 Kbps minimal group, cumulative rate factor 1.5, 576-byte packets,
@@ -194,6 +214,9 @@ class testbed {
   sim::network net_;
   sim::topology topo_;
   std::map<std::string, edge_agents> edges_;
+  /// Declared before sessions_ so pools outlive the strategies using them.
+  std::map<int, std::unique_ptr<adversary::collusion_coordinator>>
+      coordinators_;
   std::vector<std::unique_ptr<flid_session>> sessions_;
   std::vector<std::unique_ptr<tcp_flow>> tcp_flows_;
   std::vector<std::unique_ptr<cbr_flow>> cbr_flows_;
@@ -218,10 +241,11 @@ struct dumbbell_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
-  /// Bottleneck queue discipline (access links stay drop-tail). An unset
-  /// aqm.seed inherits the scenario seed, so RED coin-flips follow the run's
-  /// seed sweep.
+  /// Bottleneck queue discipline. An unset aqm.seed inherits the scenario
+  /// seed, so RED coin-flips follow the run's seed sweep.
   sim::aqm_config aqm;
+  /// Access-link queue discipline (default drop-tail).
+  sim::aqm_config access_aqm;
 };
 
 /// Dumbbell testbed: senders attach at "l", receivers at "r".
@@ -239,7 +263,8 @@ struct parking_lot_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
-  sim::aqm_config aqm;  // backbone queue discipline
+  sim::aqm_config aqm;         // backbone queue discipline
+  sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
 };
 
 [[nodiscard]] testbed_config parking_lot(const parking_lot_config& cfg = {});
@@ -255,7 +280,8 @@ struct star_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
-  sim::aqm_config aqm;  // backbone queue discipline
+  sim::aqm_config aqm;         // backbone queue discipline
+  sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
 };
 
 [[nodiscard]] testbed_config star(const star_config& cfg = {});
@@ -273,7 +299,8 @@ struct tree_config {
   double buffer_bdp = 2.0;
   sim::time_ns base_rtt = sim::milliseconds(80);
   std::uint64_t seed = 1;
-  sim::aqm_config aqm;  // backbone queue discipline
+  sim::aqm_config aqm;         // backbone queue discipline
+  sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
 };
 
 [[nodiscard]] testbed_config balanced_tree(const tree_config& cfg = {});

@@ -9,6 +9,19 @@
 
 namespace mcc::util {
 
+std::vector<std::string> split_csv(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    out.push_back(
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 namespace {
 
 /// Whole-string integer parse; nullopt on any trailing garbage.

@@ -18,6 +18,12 @@
 
 namespace mcc::util {
 
+/// Splits a comma-separated flag value into its entries, in order. Empty
+/// segments are preserved ("a,,b" -> {"a", "", "b"}; "" -> {""}) so callers
+/// reject them with their own friendly message instead of silently skipping
+/// a typo.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& spec);
+
 /// Declarative set of command-line flags with typed accessors.
 class flag_set {
  public:

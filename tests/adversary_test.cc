@@ -1,0 +1,394 @@
+// Adversary subsystem: profile/flag plumbing, the collusion key pool,
+// containment-report math on synthetic series, behavioural checks for every
+// strategy, the legacy-shim equivalence guarantee, and bit-determinism of
+// attack-matrix rows across sweep --jobs counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "adversary/containment.h"
+#include "exp/sweep.h"
+#include "exp/testbed.h"
+
+namespace mcc::adversary {
+namespace {
+
+TEST(adversary_names, strategy_names_round_trip) {
+  for (const strategy_kind k :
+       {strategy_kind::honest, strategy_kind::inflate_once,
+        strategy_kind::pulse_inflate, strategy_kind::churn_flap,
+        strategy_kind::deaf_receiver, strategy_kind::collusion}) {
+    const auto back = strategy_from_name(strategy_name(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(strategy_from_name("inflate").has_value());
+  EXPECT_FALSE(strategy_from_name("").has_value());
+  // all_attacks excludes honest.
+  for (const strategy_kind k : all_attacks()) {
+    EXPECT_NE(k, strategy_kind::honest);
+  }
+  EXPECT_EQ(all_attacks().size(), 5u);
+}
+
+TEST(adversary_names, key_mode_names_round_trip) {
+  for (const key_mode m :
+       {key_mode::best_effort, key_mode::replay, key_mode::guess}) {
+    const auto back = key_mode_from_name(key_mode_name(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(key_mode_from_name("random").has_value());
+}
+
+TEST(adversary_profiles, factories_fill_their_fields) {
+  const profile p = pulse_inflate(sim::seconds(7.0), sim::seconds(2.0),
+                                  sim::seconds(3.0), key_mode::replay);
+  EXPECT_EQ(p.kind, strategy_kind::pulse_inflate);
+  EXPECT_EQ(p.start, sim::seconds(7.0));
+  EXPECT_EQ(p.pulse_on, sim::seconds(2.0));
+  EXPECT_EQ(p.pulse_off, sim::seconds(3.0));
+  EXPECT_EQ(p.keys, key_mode::replay);
+  EXPECT_TRUE(p.attacks());
+  EXPECT_FALSE(honest().attacks());
+
+  const profile c = collusion(sim::seconds(1.0), 3);
+  EXPECT_EQ(c.kind, strategy_kind::collusion);
+  EXPECT_EQ(c.coalition, 3);
+  EXPECT_EQ(c.keys, key_mode::best_effort);
+
+  const profile f = churn_flap(sim::seconds(2.0), 4, 6);
+  EXPECT_EQ(f.flap_period_slots, 4);
+  EXPECT_EQ(f.flap_depth, 6);
+}
+
+TEST(adversary_shim, legacy_inflate_fields_translate_to_inflate_once) {
+  exp::receiver_options legacy;
+  legacy.inflate = true;
+  legacy.inflate_at = sim::seconds(5.0);
+  legacy.inflate_level = 4;
+  legacy.attack_keys = key_mode::replay;
+  const profile p = legacy.effective_profile();
+  EXPECT_EQ(p.kind, strategy_kind::inflate_once);
+  EXPECT_EQ(p.start, sim::seconds(5.0));
+  EXPECT_EQ(p.inflate_level, 4);
+  EXPECT_EQ(p.keys, key_mode::replay);
+
+  // Honest by default.
+  EXPECT_EQ(exp::receiver_options{}.effective_profile().kind,
+            strategy_kind::honest);
+
+  // Setting both the shim and a profile is ambiguous and rejected.
+  legacy.attack = deaf_receiver(sim::seconds(1.0));
+  EXPECT_THROW((void)legacy.effective_profile(), util::invariant_error);
+}
+
+TEST(adversary_shim, legacy_and_profile_worlds_are_bit_identical) {
+  // The inflate_once port must reproduce the legacy attacker exactly —
+  // same strategy class, same seed-chain position — in both protocol
+  // worlds.
+  const auto run = [](exp::flid_mode mode, bool legacy) {
+    exp::dumbbell_config cfg;
+    cfg.bottleneck_bps = 1e6;
+    cfg.seed = 11;
+    exp::testbed d(exp::dumbbell(cfg));
+    exp::receiver_options attacker;
+    if (legacy) {
+      attacker.inflate = true;
+      attacker.inflate_at = sim::seconds(20.0);
+      attacker.attack_keys = key_mode::guess;
+    } else {
+      attacker.attack = inflate_once(sim::seconds(20.0), key_mode::guess);
+    }
+    auto& rogue = d.add_flid_session(mode, {attacker});
+    auto& honest = d.add_flid_session(mode, {exp::receiver_options{}});
+    d.run_until(sim::seconds(60.0));
+    std::ostringstream sig;
+    sig << rogue.receiver().monitor().total_bytes() << '/'
+        << honest.receiver().monitor().total_bytes();
+    for (const auto& [t, lvl] : rogue.receiver().level_history()) {
+      sig << ' ' << t << ':' << lvl;
+    }
+    return sig.str();
+  };
+  EXPECT_EQ(run(exp::flid_mode::dl, true), run(exp::flid_mode::dl, false));
+  EXPECT_EQ(run(exp::flid_mode::ds, true), run(exp::flid_mode::ds, false));
+}
+
+TEST(collusion_coordinator_pool, deposit_lookup_and_pruning) {
+  collusion_coordinator pool;
+  const crypto::group_key k1{0xabcd};
+  pool.deposit(10, 3, k1);
+  const crypto::group_key* hit = pool.lookup(10, 3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, k1);
+  EXPECT_EQ(pool.lookup(10, 4), nullptr);
+  EXPECT_EQ(pool.lookup(11, 3), nullptr);
+  // A deposit far in the future prunes stale slots.
+  pool.deposit(100, 1, k1);
+  EXPECT_EQ(pool.lookup(10, 3), nullptr);
+  EXPECT_EQ(pool.stats().deposits, 2u);
+  EXPECT_EQ(pool.stats().lookups, 4u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(containment_metrics, synthetic_series_yields_exact_report) {
+  // Honest flow: steady 100 Kbps. Attacker: 100 Kbps until t=10s, 1000 Kbps
+  // over [10, 30), then back to 100 Kbps. All values land on 1-second bins.
+  sim::scheduler sched;
+  sim::throughput_monitor attacker(sched);
+  sim::throughput_monitor honest(sched);
+  for (int t = 0; t < 60; ++t) {
+    const std::int64_t atk = (t >= 10 && t < 30) ? 125'000 : 12'500;
+    sched.at(sim::seconds(static_cast<double>(t)) + 1, [&, atk] {
+      honest.on_bytes(12'500);
+      attacker.on_bytes(atk);
+    });
+  }
+  sched.run();
+
+  containment_config cfg;
+  cfg.attack_start = sim::seconds(10.0);
+  cfg.horizon = sim::seconds(60.0);
+  cfg.settle = sim::seconds(10.0);
+  cfg.pre = sim::seconds(10.0);
+  cfg.bin = sim::seconds(1.0);
+  cfg.smooth = sim::seconds(1.0);
+  cfg.bound_factor = 1.6;
+  cfg.floor_kbps = 50.0;
+  const containment_report rep =
+      measure_containment(attacker, {&honest}, cfg);
+
+  // After window [20, 60): attacker carried 10 s at 1000 and 30 s at 100.
+  EXPECT_NEAR(rep.attacker_kbps, (10.0 * 1000.0 + 30.0 * 100.0) / 40.0, 1e-9);
+  EXPECT_NEAR(rep.honest_kbps, 100.0, 1e-9);
+  EXPECT_NEAR(rep.attacker_share, 325.0 / 425.0, 1e-9);
+  EXPECT_NEAR(rep.honest_before_kbps, 100.0, 1e-9);
+  EXPECT_NEAR(rep.honest_damage, 0.0, 1e-9);
+  EXPECT_NEAR(rep.containment_bound_kbps, 160.0, 1e-9);
+  // The last offending bin ends at t=30s; the attack started at 10s.
+  EXPECT_TRUE(rep.contained);
+  EXPECT_NEAR(rep.time_to_containment_s, 20.0, 1e-9);
+}
+
+TEST(containment_metrics, attacker_above_bound_at_horizon_is_uncontained) {
+  sim::scheduler sched;
+  sim::throughput_monitor attacker(sched);
+  sim::throughput_monitor honest(sched);
+  for (int t = 0; t < 40; ++t) {
+    const std::int64_t atk = t >= 10 ? 125'000 : 12'500;
+    sched.at(sim::seconds(static_cast<double>(t)) + 1, [&, atk] {
+      honest.on_bytes(12'500);
+      attacker.on_bytes(atk);
+    });
+  }
+  sched.run();
+  containment_config cfg;
+  cfg.attack_start = sim::seconds(10.0);
+  cfg.horizon = sim::seconds(40.0);
+  const containment_report rep =
+      measure_containment(attacker, {&honest}, cfg);
+  EXPECT_FALSE(rep.contained);
+  EXPECT_DOUBLE_EQ(rep.time_to_containment_s, -1.0);
+  EXPECT_DOUBLE_EQ(rep.honest_damage, 0.0);  // honest flow held steady
+}
+
+TEST(adversary_behaviour, pulse_inflate_oscillates_subscription) {
+  // Roomy bottleneck so the oscillation is driven by the script, not by
+  // congestion: the level history must repeatedly hit the ceiling and fall
+  // back to the minimal layer.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  cfg.seed = 3;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack = pulse_inflate(sim::seconds(10.0), sim::seconds(4.0),
+                                  sim::seconds(4.0));
+  auto& session = d.add_flid_session(exp::flid_mode::dl, {attacker});
+  d.run_until(sim::seconds(50.0));
+
+  const int n = session.config.num_groups;
+  int peaks = 0;
+  int troughs = 0;
+  bool at_peak = false;
+  for (const auto& [t, lvl] : session.receiver().level_history()) {
+    if (t < sim::seconds(10.0)) continue;
+    if (lvl == n && !at_peak) {
+      ++peaks;
+      at_peak = true;
+    } else if (lvl == 1 && at_peak) {
+      ++troughs;
+      at_peak = false;
+    }
+  }
+  // 40 s of 4s/4s pulsing = 5 cycles; allow slack for slot rounding.
+  EXPECT_GE(peaks, 3);
+  EXPECT_GE(troughs, 3);
+}
+
+TEST(adversary_behaviour, capped_pulse_sheds_layers_climbed_before_onset) {
+  // Honest phase on a roomy bottleneck climbs to the top; a pulse capped at
+  // level 2 must LEAVE the higher groups when the attack starts, not just
+  // lower its claimed level — leaked memberships would keep drawing all ten
+  // groups' bandwidth forever.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  cfg.seed = 3;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack = pulse_inflate(sim::seconds(20.0), sim::seconds(4.0),
+                                  sim::seconds(4.0));
+  attacker.attack.inflate_level = 2;
+  auto& session = d.add_flid_session(exp::flid_mode::dl, {attacker});
+  d.run_until(sim::seconds(60.0));
+  // Cumulative level-2 rate is 150 Kbps; the pre-attack honest climb ran at
+  // up to ~3.8 Mbps. Anywhere near the former means the leave really
+  // happened on the wire.
+  const double late = session.receiver().monitor().average_kbps(
+      sim::seconds(30.0), sim::seconds(60.0));
+  EXPECT_LT(late, 400.0);
+  EXPECT_GT(late, 50.0);
+  EXPECT_GT(d.igmp().stats().leaves, 5u);
+}
+
+TEST(adversary_behaviour, churn_flap_thrashes_graft_prune_state) {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  cfg.seed = 3;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options churner;
+  churner.attack = churn_flap(sim::seconds(5.0), 1, 0);
+  d.add_flid_session(exp::flid_mode::dl, {churner});
+  d.run_until(sim::seconds(45.0));
+  // 80 slots of flapping across ~9 upper groups: the edge processed a
+  // couple hundred membership changes (an honest receiver needs ~10 joins
+  // for the whole run).
+  EXPECT_GT(d.igmp().stats().joins, 100u);
+  EXPECT_GT(d.igmp().stats().leaves, 100u);
+}
+
+TEST(adversary_behaviour, churn_flap_cycles_sigma_subscription_state) {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 5;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options churner;
+  churner.attack = churn_flap(sim::seconds(5.0), 1, 0);
+  auto& session = d.add_flid_session(exp::flid_mode::ds, {churner});
+  d.run_until(sim::seconds(45.0));
+  // Down phases explicitly unsubscribe whatever the up phases climbed to;
+  // climbing in DS is upgrade-authorization-limited (~0.15/slot), so the
+  // cycle count is protocol-bounded — DELTA itself damps SIGMA-side churn.
+  EXPECT_GT(d.sigma().stats().unsubscribes, 5u);
+  EXPECT_GT(d.sigma().stats().subscribe_msgs, 50u);
+  EXPECT_GT(session.receiver().monitor().total_bytes(), 0);
+}
+
+TEST(adversary_behaviour, deaf_receiver_is_contained_under_sigma) {
+  // Same invariant as the containment matrix, for the deaf shape: never
+  // dropping layers must not hold more than the contested fair share.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 7;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options deaf;
+  deaf.attack = deaf_receiver(sim::seconds(30.0));
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {deaf});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  d.run_until(sim::seconds(120.0));
+  const double rogue_kbps = rogue.receiver().monitor().average_kbps(
+      sim::seconds(45.0), sim::seconds(120.0));
+  const double honest_kbps = honest.receiver().monitor().average_kbps(
+      sim::seconds(45.0), sim::seconds(120.0));
+  EXPECT_LT(rogue_kbps, 750.0) << "honest " << honest_kbps;
+  EXPECT_GT(honest_kbps, 100.0);
+}
+
+TEST(adversary_behaviour, colluders_share_keys_across_edges) {
+  // Two colluders on different tree branches: the one on the uncontested
+  // branch proves high-layer keys and feeds the pool; the contested one
+  // replays them at its own edge. The honest receiver and TCP load the
+  // contested branch.
+  exp::tree_config cfg;
+  cfg.depth = 2;
+  cfg.fanout = 2;
+  cfg.seed = 7;
+  exp::testbed d(exp::balanced_tree(cfg));
+  exp::receiver_options contested;
+  contested.at = "t2_1";
+  contested.attack = collusion(sim::seconds(20.0), 1);
+  exp::receiver_options clean;
+  clean.at = "t2_2";
+  clean.attack = collusion(sim::seconds(20.0), 1);
+  d.add_flid_session(exp::flid_mode::ds, {contested, clean});
+  d.add_flid_session(exp::flid_mode::ds, {exp::receiver_options{}});
+  d.add_tcp_flow();
+  d.run_until(sim::seconds(90.0));
+
+  const auto& pool = d.coordinator(1).stats();
+  EXPECT_GT(pool.deposits, 100u);
+  EXPECT_GT(pool.lookups, 0u);
+  EXPECT_GT(pool.hits, 0u) << "deposits " << pool.deposits << " lookups "
+                           << pool.lookups;
+}
+
+TEST(adversary_determinism, attack_matrix_rows_bit_identical_across_jobs) {
+  // One row per strategy on a short dumbbell scenario; --jobs 4 must
+  // serialize byte-for-byte like --jobs 1 (same contract as every bench).
+  const auto matrix = [](int jobs) {
+    const std::vector<strategy_kind>& kinds = all_attacks();
+    std::vector<double> xs(kinds.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = static_cast<double>(i);
+    }
+    exp::sweep_options opts;
+    opts.jobs = jobs;
+    opts.base_seed = 17;
+    const auto rows =
+        exp::run_sweep(xs, opts, [&](const exp::sweep_point& pt) {
+          exp::dumbbell_config cfg;
+          cfg.bottleneck_bps = 1e6;
+          cfg.seed = pt.seed;
+          exp::testbed d(exp::dumbbell(cfg));
+          profile p;
+          p.kind = kinds[pt.index];
+          p.start = sim::seconds(10.0);
+          p.pulse_on = sim::seconds(3.0);
+          p.pulse_off = sim::seconds(3.0);
+          exp::receiver_options attacker;
+          attacker.attack = p;
+          std::vector<exp::receiver_options> rogues = {attacker};
+          if (p.kind == strategy_kind::collusion) rogues.push_back(attacker);
+          auto& rogue = d.add_flid_session(exp::flid_mode::ds, rogues);
+          auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                            {exp::receiver_options{}});
+          d.run_until(sim::seconds(40.0));
+          exp::sweep_row row;
+          row.label = strategy_name(p.kind);
+          row.value("attacker_bytes",
+                    static_cast<double>(
+                        rogue.receiver().monitor().total_bytes()));
+          row.value("honest_bytes",
+                    static_cast<double>(
+                        honest.receiver().monitor().total_bytes()));
+          row.value("invalid_keys",
+                    static_cast<double>(d.sigma().stats().invalid_keys));
+          row.value("igmp_joins",
+                    static_cast<double>(d.igmp().stats().joins));
+          return row;
+        });
+    std::ostringstream os;
+    exp::write_json(os, "adversary_matrix", rows);
+    return os.str();
+  };
+  const std::string serial = matrix(1);
+  EXPECT_EQ(serial, matrix(4));
+  EXPECT_NE(serial.find("pulse_inflate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcc::adversary

@@ -5,6 +5,7 @@
 
 #include <array>
 
+#include "adversary/adversary.h"
 #include "exp/testbed.h"
 #include "sim/stats.h"
 
@@ -26,8 +27,7 @@ attack_result run_attack(flid_mode mode, sim::time_ns horizon,
   cfg.seed = 7;
   testbed d(dumbbell(cfg));
   receiver_options attacker;
-  attacker.inflate = true;
-  attacker.inflate_at = inflate_at;
+  attacker.attack = adversary::inflate_once(inflate_at);
   auto& f1 = d.add_flid_session(mode, {attacker});
   auto& f2 = d.add_flid_session(mode, {receiver_options{}});
   auto& t1 = d.add_tcp_flow();

@@ -13,7 +13,9 @@
 #include <cstdint>
 #include <string>
 
+#include "adversary/adversary.h"
 #include "crypto/prng.h"
+#include "exp/testbed.h"
 #include "sim/aqm.h"
 #include "sim/link.h"
 #include "sim/network.h"
@@ -165,6 +167,66 @@ INSTANTIATE_TEST_SUITE_P(all_qdiscs, golden_trace,
                          [](const auto& info) {
                            return std::string(qdisc_name(info.param));
                          });
+
+// ---------------------------------------------------------------------------
+// Adversary golden trace: a pulse_inflate attack on a FLID-DS dumbbell,
+// digesting the full attack timeline — both receivers' subscription level
+// histories, byte totals and slot counters, the SIGMA edge counters, and
+// the bottleneck counters. Everything folded is integral, so the digest is
+// identical in Release and sanitizer builds. Same update protocol as the
+// per-qdisc digests above.
+// ---------------------------------------------------------------------------
+
+std::string run_pulse_attack_digest() {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 5;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack = mcc::adversary::pulse_inflate(
+      sim::seconds(15.0), sim::seconds(4.0), sim::seconds(4.0));
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+
+  fnv1a digest;
+  for (flid::flid_receiver* r : {&rogue.receiver(), &honest.receiver()}) {
+    digest.fold(static_cast<std::uint64_t>(r->monitor().total_bytes()));
+    digest.fold(r->stats().packets);
+    digest.fold(r->stats().slots_congested);
+    digest.fold(r->stats().upgrades);
+    digest.fold(r->stats().downgrades);
+    for (const auto& [t, lvl] : r->level_history()) {
+      digest.fold(static_cast<std::uint64_t>(t));
+      digest.fold(static_cast<std::uint64_t>(lvl));
+    }
+  }
+  const auto& sg = d.sigma().stats();
+  digest.fold(sg.subscribe_msgs);
+  digest.fold(sg.valid_keys);
+  digest.fold(sg.invalid_keys);
+  digest.fold(sg.denied);
+  digest.fold(sg.grace_forwards);
+  digest.fold(sg.session_joins);
+  digest.fold(sg.unsubscribes);
+  const link_stats& bn = d.bottleneck()->stats();
+  digest.fold(bn.enqueued);
+  digest.fold(bn.dropped);
+  digest.fold(bn.delivered);
+  digest.fold(static_cast<std::uint64_t>(bn.bytes_dropped));
+  return digest.hex();
+}
+
+TEST(golden_trace_adversary, pulse_inflate_timeline_matches_checked_in_digest) {
+  EXPECT_EQ(run_pulse_attack_digest(), "0xfd1bc9bde74fb696")
+      << "adversary attack timeline drifted (if intentional, update the "
+         "digest with the value above)";
+}
+
+TEST(golden_trace_adversary, pulse_digest_is_reproducible_within_a_process) {
+  EXPECT_EQ(run_pulse_attack_digest(), run_pulse_attack_digest());
+}
 
 }  // namespace
 }  // namespace mcc::sim

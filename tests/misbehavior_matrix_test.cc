@@ -4,6 +4,7 @@
 // after a total blackout.
 #include <gtest/gtest.h>
 
+#include "adversary/adversary.h"
 #include "exp/testbed.h"
 
 namespace mcc::core {
@@ -34,9 +35,7 @@ TEST_P(containment_matrix, attacker_held_near_honest_share) {
   cfg.aqm.discipline = queue;
   testbed d(dumbbell(cfg));
   receiver_options attacker;
-  attacker.inflate = true;
-  attacker.inflate_at = sim::seconds(30.0);
-  attacker.attack_keys = mode;
+  attacker.attack = adversary::inflate_once(sim::seconds(30.0), mode);
   auto& rogue = d.add_flid_session(flid_mode::ds, {attacker});
   auto& honest = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   d.run_until(sim::seconds(120.0));
@@ -123,9 +122,8 @@ TEST(blackout_recovery, attacker_blackout_does_not_unlock_extra_access) {
   cfg.seed = 33;
   testbed d(dumbbell(cfg));
   receiver_options attacker;
-  attacker.inflate = true;
-  attacker.inflate_at = sim::seconds(10.0);
-  attacker.attack_keys = misbehaving_sigma_strategy::key_mode::guess;
+  attacker.attack = adversary::inflate_once(
+      sim::seconds(10.0), misbehaving_sigma_strategy::key_mode::guess);
   auto& rogue = d.add_flid_session(flid_mode::ds, {attacker});
   auto& honest = d.add_flid_session(flid_mode::ds, {receiver_options{}});
   traffic::cbr_config flood;

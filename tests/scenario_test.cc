@@ -124,6 +124,39 @@ TEST(scenario, seeds_change_outcomes_deterministically) {
   EXPECT_NE(run_once(5), run_once(6));
 }
 
+TEST(scenario, access_aqm_selects_edge_queue_discipline) {
+  // Scenario configs historically applied AQM only to backbone links —
+  // access links were silently always drop-tail. access_aqm makes the edge
+  // queue selectable per testbed.
+  dumbbell_config cfg;
+  cfg.access_aqm.discipline = sim::qdisc::red;
+  testbed d(dumbbell(cfg));
+  const sim::node_id h = d.attach_host("probe", "r");
+  d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::milliseconds(1));  // finalizes routing
+  sim::link* access = d.net().next_hop(h, d.router("r"));
+  ASSERT_NE(access, nullptr);
+  EXPECT_EQ(access->config().aqm.discipline, sim::qdisc::red);
+  // An unset access AQM seed inherited the testbed seed (then mixed with
+  // the per-link counter by network::connect), so RED draws are seeded.
+  EXPECT_NE(access->config().aqm.seed, 0u);
+  // The backbone keeps its own (default drop-tail) discipline.
+  EXPECT_EQ(d.bottleneck()->config().aqm.discipline, sim::qdisc::droptail);
+}
+
+TEST(scenario, access_links_default_to_droptail) {
+  dumbbell_config cfg;
+  cfg.aqm.discipline = sim::qdisc::codel;  // backbone only
+  testbed d(dumbbell(cfg));
+  const sim::node_id h = d.attach_host("probe", "r");
+  d.add_flid_session(flid_mode::dl, {receiver_options{}});
+  d.run_until(sim::milliseconds(1));
+  sim::link* access = d.net().next_hop(h, d.router("r"));
+  ASSERT_NE(access, nullptr);
+  EXPECT_EQ(access->config().aqm.discipline, sim::qdisc::droptail);
+  EXPECT_EQ(d.bottleneck()->config().aqm.discipline, sim::qdisc::codel);
+}
+
 TEST(scenario, negative_access_delay_is_rejected_loudly) {
   // The old API used -1 as a "use the default" sentinel on access_delay; a
   // misconfigured negative delay now fails instead of silently meaning

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Join BENCH_*.json artifacts into one dashboard table and flag regressions.
+
+Two input schemas are understood:
+
+  * exp::sweep documents ({"bench": ..., "rows": [{"x", "label", "values",
+    "traces"}, ...]}) — every fig*/ablation* bench writes these via --json.
+  * google-benchmark documents ({"benchmarks": [...]}) — the micro_* benches
+    write these via --benchmark_out (traced metrics: real_time, cpu_time,
+    and any user counters).
+
+Usage:
+
+  # Aggregate one artifact set into markdown + CSV:
+  tools/bench_aggregate.py out/BENCH_*.json --out-md dash.md --out-csv dash.csv
+
+  # Compare two commits' artifact sets and flag metric drift > 10%:
+  tools/bench_aggregate.py current/ --baseline baseline/ \
+      --threshold 0.10 --fail-on-regress
+
+Directories are scanned for BENCH_*.json. Regression checking compares every
+(bench, row, metric) triple present in both sets; drift beyond --threshold in
+either direction is flagged (a big "improvement" is often a broken metric).
+Stdlib only — runs anywhere CI has a python3.
+"""
+
+import argparse
+import csv
+import glob
+import json
+import math
+import os
+import sys
+
+# Records are (bench, row_key, metric, value) tuples.
+
+
+def collect_paths(args_paths):
+    paths = []
+    for p in args_paths:
+        if os.path.isdir(p):
+            paths.extend(sorted(glob.glob(os.path.join(p, "BENCH_*.json"))))
+        else:
+            paths.append(p)
+    return paths
+
+
+def load_records(path):
+    """Yields (bench, row_key, metric, value) from one artifact file."""
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}: not valid JSON ({e})")
+    if "rows" in doc:  # exp::sweep schema
+        bench = doc.get("bench") or os.path.basename(path)
+        # Labels are not necessarily unique across a sweep (e.g. one label
+        # per qdisc while sweeping session counts); disambiguate repeated
+        # labels with the row's grid coordinate so no row is collapsed away.
+        label_counts = {}
+        for row in doc["rows"]:
+            label = row.get("label") or ""
+            label_counts[label] = label_counts.get(label, 0) + 1
+        seen = set()
+        for i, row in enumerate(doc["rows"]):
+            label = row.get("label") or ""
+            if label and label_counts[label] == 1:
+                key = label
+            else:
+                key = f"{label}@x={row.get('x', i)}" if label \
+                    else f"x={row.get('x', i)}"
+            if key in seen:  # same label AND x: keep rows apart regardless
+                key = f"{key}#{i}"
+            seen.add(key)
+            for metric, value in row.get("values", {}).items():
+                if isinstance(value, (int, float)) and value is not None:
+                    yield bench, key, metric, float(value)
+    elif "benchmarks" in doc:  # google-benchmark schema
+        bench = os.path.basename(path).removeprefix("BENCH_").removesuffix(
+            ".json")
+        skipped_fields = {
+            "name", "run_name", "run_type", "family_index",
+            "per_family_instance_index", "repetitions", "repetition_index",
+            "threads", "iterations", "time_unit", "aggregate_name",
+        }
+        for entry in doc["benchmarks"]:
+            key = entry.get("name", "?")
+            for metric, value in entry.items():
+                if metric in skipped_fields:
+                    continue
+                if isinstance(value, (int, float)):
+                    yield bench, key, metric, float(value)
+    else:
+        print(f"note: {path} matches no known schema, skipped",
+              file=sys.stderr)
+
+
+def load_set(paths):
+    records = {}
+    for path in paths:
+        for bench, key, metric, value in load_records(path):
+            records[(bench, key, metric)] = value
+    return records
+
+
+def fmt(value):
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+        return f"{value:.4g}"
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def write_markdown(records, out):
+    """One section per bench: rows x metrics."""
+    by_bench = {}
+    for (bench, key, metric), value in records.items():
+        by_bench.setdefault(bench, {}).setdefault(key, {})[metric] = value
+    out.write("# Bench dashboard\n")
+    for bench in sorted(by_bench):
+        rows = by_bench[bench]
+        metrics = sorted({m for row in rows.values() for m in row})
+        out.write(f"\n## {bench}\n\n")
+        out.write("| row | " + " | ".join(metrics) + " |\n")
+        out.write("|---" * (len(metrics) + 1) + "|\n")
+        for key in rows:  # insertion order = artifact order
+            cells = [fmt(rows[key][m]) if m in rows[key] else "-"
+                     for m in metrics]
+            out.write(f"| {key} | " + " | ".join(cells) + " |\n")
+
+
+def write_csv(records, out):
+    w = csv.writer(out)
+    w.writerow(["bench", "row", "metric", "value"])
+    for (bench, key, metric), value in records.items():
+        w.writerow([bench, key, metric, repr(value)])
+
+
+def compare(current, baseline, threshold):
+    """Returns [(key, base, cur, rel_delta)] beyond threshold, worst first."""
+    flagged = []
+    for key, base in baseline.items():
+        if key not in current:
+            continue
+        cur = current[key]
+        if math.isnan(base) or math.isnan(cur):
+            continue
+        denom = max(abs(base), 1e-12)
+        rel = (cur - base) / denom
+        if abs(rel) > threshold:
+            flagged.append((key, base, cur, rel))
+    flagged.sort(key=lambda f: -abs(f[3]))
+    return flagged
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Aggregate BENCH_*.json into a dashboard; optionally "
+                    "compare against a baseline artifact set.")
+    ap.add_argument("paths", nargs="+",
+                    help="BENCH_*.json files or directories holding them")
+    ap.add_argument("--out-md", help="write a markdown dashboard here")
+    ap.add_argument("--out-csv", help="write a CSV dump here")
+    ap.add_argument("--baseline",
+                    help="baseline artifact file/directory to diff against")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative drift flagged as regression (default 0.10)")
+    ap.add_argument("--fail-on-regress", action="store_true",
+                    help="exit 1 when any metric drifts beyond the threshold")
+    args = ap.parse_args()
+
+    paths = collect_paths(args.paths)
+    if not paths:
+        raise SystemExit("no BENCH_*.json artifacts found")
+    records = load_set(paths)
+    print(f"aggregated {len(records)} metrics from {len(paths)} artifact(s)")
+
+    if args.out_md:
+        with open(args.out_md, "w") as f:
+            write_markdown(records, f)
+        print(f"wrote {args.out_md}")
+    if args.out_csv:
+        with open(args.out_csv, "w", newline="") as f:
+            write_csv(records, f)
+        print(f"wrote {args.out_csv}")
+    if not args.out_md and not args.out_csv and not args.baseline:
+        write_markdown(records, sys.stdout)
+
+    if args.baseline:
+        base_paths = collect_paths([args.baseline])
+        if not base_paths:
+            raise SystemExit(
+                f"--baseline {args.baseline}: no BENCH_*.json artifacts found")
+        base = load_set(base_paths)
+        shared = sum(1 for k in base if k in records)
+        if shared == 0:
+            # Nothing to compare means the gate would silently pass on a
+            # typo'd path, renamed bench, or row-key drift: fail loud.
+            raise SystemExit(
+                "--baseline shares no (bench, row, metric) keys with the "
+                "current set — regression check is vacuous")
+        flagged = compare(records, base, args.threshold)
+        print(f"compared {shared} shared metrics against baseline; "
+              f"{len(flagged)} beyond ±{args.threshold:.0%}")
+        for (bench, key, metric), b, c, rel in (
+                (f[0], f[1], f[2], f[3]) for f in flagged):
+            print(f"  {bench} / {key} / {metric}: "
+                  f"{fmt(b)} -> {fmt(c)} ({rel:+.1%})")
+        if flagged and args.fail_on_regress:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
