@@ -5,6 +5,7 @@
 // (claiming the maximal level and flooding random key guesses). The paper
 // shows the fair allocation preserved for all four receivers.
 #include <array>
+#include <cstdio>
 #include <iostream>
 
 #include "adversary/adversary.h"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   flags.add("attack-keys", "guess",
             "how unprovable layers are backed: best_effort|replay|guess");
   flags.add("seed", "7", "simulation seed");
+  exp::add_interface_keying_flag(flags);
   exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
 
@@ -30,6 +32,17 @@ int main(int argc, char** argv) {
   const double inflate_at_s = flags.f64("inflate_at");
   const adversary::key_mode keys =
       adversary::key_mode_from_flag(flags.str("attack-keys"));
+  // Off (the paper's setup) unless asked for. This is a single-scenario
+  // figure, so the axis spelling "both" would silently pick one value —
+  // reject it with the usual friendly flag UX instead.
+  const auto keying_axis = exp::interface_keying_axis_from_flags(flags);
+  if (keying_axis.size() > 1) {
+    std::fprintf(stderr,
+                 "bad value for --interface-keying: 'both' (this bench runs "
+                 "one scenario; use off or on)\n");
+    return 1;
+  }
+  const bool keying = keying_axis.front();
   const auto opts = exp::sweep_options_from_flags(
       flags, static_cast<std::uint64_t>(flags.i64("seed")));
 
@@ -38,6 +51,7 @@ int main(int argc, char** argv) {
         exp::dumbbell_config cfg;
         cfg.bottleneck_bps = 1e6;
         cfg.seed = pt.seed;
+        cfg.interface_keying = keying;
         exp::testbed d(exp::dumbbell(cfg));
 
         exp::receiver_options attacker;

@@ -1,5 +1,5 @@
-// Attack matrix: every adversary strategy x topology x queue discipline,
-// with per-cell containment metrics.
+// Attack matrix: every adversary strategy x topology x queue discipline x
+// interface keying, with per-cell containment AND attacker-cost metrics.
 //
 // Not a paper figure — the systematic sweep the adversary subsystem exists
 // for. Each cell builds one testbed (dumbbell / parking_lot / tree), attaches
@@ -11,13 +11,22 @@
 //   attacker_share   attacker goodput share of everything measured
 //   honest_damage    fraction of the honest flows' pre-attack goodput lost
 //   ttc_s            time-to-containment (s); -1 = not contained by horizon
+//   cost_*           attacker spend: control messages, useless key
+//                    submissions, slots spent cut off
+//   profit           attacker goodput per control message sent (Kbps/msg) —
+//                    the profitability metric strategies are ranked by
 //
 // Under --mode=ds (default) the expectation is containment everywhere: the
 // SIGMA edge holds every strategy near the honest share. Under --mode=dl the
 // same grid shows the unprotected world: inflation-style strategies take the
-// bottleneck. Strategy timing parameters (pulse phases, flap period) are
-// flag-tunable; collusion always pools keys best-effort (the pool IS its key
-// source), the other key-backed strategies follow --attack-keys.
+// bottleneck. --interface-keying=both (the default in ds mode) additionally
+// runs every cell with the section-4.2 countermeasure switched on; the
+// headline comparison is the collusion/tree cell, whose cross-edge key pool
+// goes from the matrix's worst containment time to pool_hits == 0 and a
+// strictly faster claw-back. Strategy timing parameters (pulse phases, flap
+// period, adaptive probe) are flag-tunable; collusion always pools keys
+// best-effort (the pool IS its key source), the other key-backed strategies
+// follow --attack-keys.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -50,11 +59,12 @@ struct cell {
   adversary::strategy_kind strategy;
   std::string topo;
   sim::qdisc queue;
+  bool keying = false;  // interface-keying countermeasure on
 };
 
 exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
                                 sim::qdisc queue, const sim::aqm_config& aqm_in,
-                                site_plan& sites) {
+                                bool keying, site_plan& sites) {
   sim::aqm_config aqm = aqm_in;
   aqm.discipline = queue;
   if (topo == "dumbbell") {
@@ -62,6 +72,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.bottleneck_bps = path_bps;
     cfg.seed = seed;
     cfg.aqm = aqm;
+    cfg.interface_keying = keying;
     sites = {"r", "r", "r"};
     return exp::dumbbell(cfg);
   }
@@ -71,6 +82,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.bottleneck_bps = path_bps;
     cfg.seed = seed;
     cfg.aqm = aqm;
+    cfg.interface_keying = keying;
     // The attacker sits behind both bottlenecks; its colluding partner
     // behind only the first, so the partner's cleaner congestion state
     // feeds the key pool.
@@ -84,6 +96,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.edge_bps = path_bps;
     cfg.seed = seed;
     cfg.aqm = aqm;
+    cfg.interface_keying = keying;
     // Attacker on a sibling leaf of the honest receiver: they share the
     // root->t1_0 edge (the contested link) and split below it. The second
     // colluder sits in the other subtree, where its cleaner congestion
@@ -107,16 +120,18 @@ int main(int argc, char** argv) {
   flags.add("attack-at", "40", "attack onset, seconds");
   flags.add("strategies", "all",
             "comma list of inflate_once|pulse_inflate|churn_flap|"
-            "deaf_receiver|collusion, or all");
+            "deaf_receiver|collusion|adaptive_pulse|adaptive_churn, or all");
   flags.add("topos", "all",
             "comma list of dumbbell|parking_lot|tree, or all");
   flags.add("mode", "ds", "protocol world: ds (SIGMA-protected) or dl (plain)");
   flags.add("attack-keys", "guess",
             "key mode for inflate_once/pulse_inflate: best_effort|replay|guess");
-  flags.add("pulse-on", "5", "pulse_inflate: attack phase, seconds");
+  flags.add("pulse-on", "5",
+            "pulse_inflate: attack phase; adaptive_pulse: max probe, seconds");
   flags.add("pulse-off", "5", "pulse_inflate: recovery phase, seconds");
   flags.add("flap-period", "1", "churn_flap: slots per phase");
   flags.add("seed", "7", "simulation seed");
+  exp::add_interface_keying_flag(flags, "both");
   exp::add_aqm_flags(flags);
   exp::add_sweep_flags(flags);
   if (!flags.parse(argc, argv)) return 1;
@@ -177,14 +192,24 @@ int main(int argc, char** argv) {
           : util::split_csv(flags.str("topos"));
   const std::vector<sim::qdisc> qdiscs = exp::qdisc_list_from_flags(flags);
   const sim::aqm_config aqm_base = exp::aqm_config_from_flags(flags);
+  std::vector<bool> keyings = exp::interface_keying_axis_from_flags(flags);
+  if (mode == exp::flid_mode::dl && (keyings.size() > 1 || keyings.front())) {
+    // Keys do not exist in the plain world; the axis would duplicate cells.
+    std::fprintf(stderr,
+                 "note: --interface-keying has no effect under --mode=dl; "
+                 "running the axis off\n");
+    keyings = {false};
+  }
 
   std::vector<cell> cells;
   for (const adversary::strategy_kind s : strategies) {
     for (const std::string& t : topos) {
       // Validate topology names up front (before worker threads).
       site_plan probe;
-      (void)make_config(t, 1, sim::qdisc::droptail, aqm_base, probe);
-      for (const sim::qdisc q : qdiscs) cells.push_back({s, t, q});
+      (void)make_config(t, 1, sim::qdisc::droptail, aqm_base, false, probe);
+      for (const sim::qdisc q : qdiscs) {
+        for (const bool k : keyings) cells.push_back({s, t, q, k});
+      }
     }
   }
 
@@ -199,7 +224,8 @@ int main(int argc, char** argv) {
   const auto rows = exp::run_sweep(xs, opts, [&](const exp::sweep_point& pt) {
     const cell& c = cells[pt.index];
     site_plan sites;
-    exp::testbed d(make_config(c.topo, pt.seed, c.queue, aqm_base, sites));
+    exp::testbed d(
+        make_config(c.topo, pt.seed, c.queue, aqm_base, c.keying, sites));
 
     adversary::profile attack;
     switch (c.strategy) {
@@ -217,6 +243,12 @@ int main(int argc, char** argv) {
         break;
       case adversary::strategy_kind::collusion:
         attack = adversary::collusion(attack_at);
+        break;
+      case adversary::strategy_kind::adaptive_pulse:
+        attack = adversary::adaptive_pulse(attack_at, pulse_on, keys);
+        break;
+      case adversary::strategy_kind::adaptive_churn:
+        attack = adversary::adaptive_churn(attack_at);
         break;
       default:
         // A new attack kind in all_attacks() without a cell recipe here
@@ -262,8 +294,11 @@ int main(int argc, char** argv) {
         &honest_session.receiver(0).monitor()};
 
     exp::sweep_row row;
+    // Keyed cells carry a "/keyed" suffix; unkeyed labels stay as before so
+    // cross-commit baseline diffs keep matching the historical rows.
     row.label = std::string(adversary::strategy_name(c.strategy)) + "/" +
-                c.topo + "/" + sim::qdisc_name(c.queue);
+                c.topo + "/" + sim::qdisc_name(c.queue) +
+                (c.keying ? "/keyed" : "");
     double attacker_sum = 0.0;
     double honest_sum = 0.0;
     for (const sim::throughput_monitor* m : honest_monitors) {
@@ -271,11 +306,13 @@ int main(int argc, char** argv) {
     }
     double damage = 0.0;
     double ttc = 0.0;
+    double profit = 0.0;
     bool contained = true;
     const int attackers = colluding ? 2 : 1;
     for (int a = 0; a < attackers; ++a) {
-      const adversary::containment_report rep = adversary::measure_containment(
+      adversary::containment_report rep = adversary::measure_containment(
           rogue.receiver(a).monitor(), honest_monitors, reference, ccfg);
+      adversary::attach_cost(rep, adversary::measure_cost(rogue.receiver(a)));
       attacker_sum += rep.attacker_kbps;
       damage = rep.honest_damage;  // same honest set for every attacker
       // The cell verdict judges the attacker on the contested path
@@ -286,12 +323,19 @@ int main(int argc, char** argv) {
       if (a == 0) {
         contained = rep.contained;
         ttc = rep.time_to_containment_s;
+        profit = rep.profit_kbps_per_msg;
       }
       const std::string p = "attacker" + std::to_string(a) + "_";
       row.value(p + "kbps", rep.attacker_kbps);
       row.value(p + "share", rep.attacker_share);
       row.value(p + "ttc_s", rep.time_to_containment_s);
       row.value(p + "bound_kbps", rep.containment_bound_kbps);
+      row.value(p + "cost_msgs", static_cast<double>(rep.cost.ctrl_msgs));
+      row.value(p + "cost_useless_keys",
+                static_cast<double>(rep.cost.useless_keys));
+      row.value(p + "cost_cutoff_slots",
+                static_cast<double>(rep.cost.cutoff_slots));
+      row.value(p + "profit_kbps_per_msg", rep.profit_kbps_per_msg);
     }
     row.value("attacker_share",
               attacker_sum + honest_sum > 0.0
@@ -300,6 +344,8 @@ int main(int argc, char** argv) {
     row.value("honest_damage", damage);
     row.value("ttc_s", contained ? ttc : -1.0);
     row.value("contained", contained ? 1.0 : 0.0);
+    row.value("interface_keying", c.keying ? 1.0 : 0.0);
+    row.value("profit_kbps_per_msg", profit);
     row.value("honest_kbps",
               honest_session.receiver(0).monitor().average_kbps(
                   attack_at + ccfg.settle, horizon));
@@ -320,6 +366,12 @@ int main(int argc, char** argv) {
       const auto& pool = d.coordinator(attack.coalition).stats();
       row.value("pool_deposits", static_cast<double>(pool.deposits));
       row.value("pool_hits", static_cast<double>(pool.hits));
+      // Cross-edge = the colluders sit at different edge routers (tree,
+      // parking lot) — the placement section 4.2's key-sharing attack and
+      // its countermeasure are about. Dumbbell colluders share one edge, so
+      // keying closes their pool too but containment there is congestion-
+      // dominated and need not speed up.
+      row.value("cross_edge", sites.attacker != sites.second ? 1.0 : 0.0);
     }
     row.trace("attacker_kbps_series", rogue.receiver(0).monitor().series_kbps());
     row.trace("honest_kbps_series",
@@ -327,15 +379,40 @@ int main(int argc, char** argv) {
     return row;
   });
 
-  std::printf("# attack matrix (%s): strategy/topology/qdisc\n",
+  std::printf("# attack matrix (%s): strategy/topology/qdisc[/keyed]\n",
               mode_name.c_str());
-  std::printf("# %-38s %9s %9s %8s %9s\n", "cell", "atk_share", "damage",
-              "ttc_s", "contained");
+  std::printf("# %-44s %9s %9s %8s %9s %11s\n", "cell", "atk_share", "damage",
+              "ttc_s", "contained", "profit");
   for (const auto& row : rows) {
-    std::printf("  %-38s %9.3f %9.3f %8.1f %9.0f\n", row.label.c_str(),
+    std::printf("  %-44s %9.3f %9.3f %8.1f %9.0f %11.3f\n", row.label.c_str(),
                 row.value_of("attacker_share"), row.value_of("honest_damage"),
-                row.value_of("ttc_s"), row.value_of("contained"));
+                row.value_of("ttc_s"), row.value_of("contained"),
+                row.value_of("profit_kbps_per_msg"));
   }
+
+  // Profitability ranking: which strategy extracts the most goodput per
+  // control message. High profit + contained = a cheap nuisance; high
+  // profit + uncontained = the cell to worry about.
+  std::vector<const exp::sweep_row*> ranked;
+  ranked.reserve(rows.size());
+  for (const auto& row : rows) ranked.push_back(&row);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const exp::sweep_row* a, const exp::sweep_row* b) {
+              const double pa = a->value_of("profit_kbps_per_msg");
+              const double pb = b->value_of("profit_kbps_per_msg");
+              return pa != pb ? pa > pb : a->label < b->label;
+            });
+  std::printf("\n# profitability ranking (attacker Kbps per control msg)\n");
+  std::printf("# %-44s %11s %10s %13s %13s\n", "cell", "profit", "cost_msgs",
+              "useless_keys", "cutoff_slots");
+  for (const exp::sweep_row* row : ranked) {
+    std::printf("  %-44s %11.3f %10.0f %13.0f %13.0f\n", row->label.c_str(),
+                row->value_of("profit_kbps_per_msg"),
+                row->value_of("attacker0_cost_msgs"),
+                row->value_of("attacker0_cost_useless_keys"),
+                row->value_of("attacker0_cost_cutoff_slots"));
+  }
+
   if (mode == exp::flid_mode::ds) {
     int held = 0;
     for (const auto& row : rows) {
@@ -344,6 +421,51 @@ int main(int argc, char** argv) {
     exp::print_check(std::cout, "cells contained under SIGMA",
                      "all of them", static_cast<double>(held),
                      "of " + std::to_string(rows.size()));
+    // The countermeasure study: for every collusion cell run both with and
+    // without keying, the keyed run must close the key-sharing channel (no
+    // pool hits — checked for every placement, same-edge included). The
+    // time-to-containment claim is anchored on the tree — the matrix's
+    // historical worst cell, where cross-edge colluders split below the
+    // contested link exactly as in section 4.2: there, keying must rein the
+    // contested colluder in strictly faster. (On other topologies the
+    // claw-back is congestion-dominated and the comparison is seed-noisy.)
+    if (keyings.size() > 1) {
+      int pairs = 0;
+      int closed = 0;
+      int tree_cells = 0;
+      int faster = 0;
+      for (const auto& row : rows) {
+        if (row.label.rfind("collusion/", 0) != 0) continue;
+        if (row.value_of("interface_keying") != 0.0) continue;
+        const exp::sweep_row* keyed = nullptr;
+        for (const auto& other : rows) {
+          if (other.label == row.label + "/keyed") keyed = &other;
+        }
+        if (keyed == nullptr) continue;
+        ++pairs;
+        if (keyed->value_of("pool_hits") == 0.0) ++closed;
+        if (row.label.rfind("collusion/tree/", 0) != 0) continue;
+        ++tree_cells;
+        const double ttc_off = row.value_of("ttc_s");
+        const double ttc_on = keyed->value_of("ttc_s");
+        // -1 (uncontained) is worse than any contained time.
+        if (ttc_on >= 0.0 && (ttc_off < 0.0 || ttc_on < ttc_off)) ++faster;
+      }
+      // A claim only prints when its cells actually ran: "0 of 0" reads as
+      // the study passing when nothing was checked.
+      if (pairs > 0) {
+        exp::print_check(std::cout,
+                         "keyed collusion cells with pool_hits == 0",
+                         "all of them", static_cast<double>(closed),
+                         "of " + std::to_string(pairs));
+      }
+      if (tree_cells > 0) {
+        exp::print_check(std::cout,
+                         "keyed collusion/tree contained strictly faster",
+                         "all of them", static_cast<double>(faster),
+                         "of " + std::to_string(tree_cells));
+      }
+    }
   }
   exp::maybe_write_json(flags, "fig_attack_matrix", rows);
   return 0;

@@ -21,6 +21,8 @@ const char* strategy_name(strategy_kind k) {
     case strategy_kind::churn_flap: return "churn_flap";
     case strategy_kind::deaf_receiver: return "deaf_receiver";
     case strategy_kind::collusion: return "collusion";
+    case strategy_kind::adaptive_pulse: return "adaptive_pulse";
+    case strategy_kind::adaptive_churn: return "adaptive_churn";
   }
   return "?";
 }
@@ -29,7 +31,8 @@ std::optional<strategy_kind> strategy_from_name(const std::string& name) {
   for (const strategy_kind k :
        {strategy_kind::honest, strategy_kind::inflate_once,
         strategy_kind::pulse_inflate, strategy_kind::churn_flap,
-        strategy_kind::deaf_receiver, strategy_kind::collusion}) {
+        strategy_kind::deaf_receiver, strategy_kind::collusion,
+        strategy_kind::adaptive_pulse, strategy_kind::adaptive_churn}) {
     if (name == strategy_name(k)) return k;
   }
   return std::nullopt;
@@ -37,9 +40,10 @@ std::optional<strategy_kind> strategy_from_name(const std::string& name) {
 
 const std::vector<strategy_kind>& all_attacks() {
   static const std::vector<strategy_kind> kinds = {
-      strategy_kind::inflate_once, strategy_kind::pulse_inflate,
-      strategy_kind::churn_flap, strategy_kind::deaf_receiver,
-      strategy_kind::collusion};
+      strategy_kind::inflate_once,  strategy_kind::pulse_inflate,
+      strategy_kind::churn_flap,    strategy_kind::deaf_receiver,
+      strategy_kind::collusion,     strategy_kind::adaptive_pulse,
+      strategy_kind::adaptive_churn};
   return kinds;
 }
 
@@ -125,26 +129,43 @@ profile collusion(sim::time_ns start, int coalition, key_mode keys) {
   return p;
 }
 
+profile adaptive_pulse(sim::time_ns start, sim::time_ns on, key_mode keys) {
+  profile p;
+  p.kind = strategy_kind::adaptive_pulse;
+  p.start = start;
+  p.pulse_on = on;
+  p.keys = keys;
+  return p;
+}
+
+profile adaptive_churn(sim::time_ns start) {
+  profile p;
+  p.kind = strategy_kind::adaptive_churn;
+  p.start = start;
+  return p;
+}
+
 // ---------------------------------------------------------------------------
 // Collusion coordinator
 // ---------------------------------------------------------------------------
 
 void collusion_coordinator::deposit(std::int64_t subscribe_slot, int group,
-                                    const crypto::group_key& key) {
+                                    const crypto::group_key& key,
+                                    std::uint64_t scope) {
   ++stats_.deposits;
-  keys_[{subscribe_slot, group}] = key;
+  keys_[{subscribe_slot, group, scope}] = key;
   // Keys for long-gone slots can never validate again; prune so the pool
   // stays bounded over arbitrarily long runs.
   while (!keys_.empty() &&
-         keys_.begin()->first.first < subscribe_slot - retain_slots) {
+         std::get<0>(keys_.begin()->first) < subscribe_slot - retain_slots) {
     keys_.erase(keys_.begin());
   }
 }
 
 const crypto::group_key* collusion_coordinator::lookup(
-    std::int64_t subscribe_slot, int group) {
+    std::int64_t subscribe_slot, int group, std::uint64_t scope) {
   ++stats_.lookups;
-  const auto it = keys_.find({subscribe_slot, group});
+  const auto it = keys_.find({subscribe_slot, group, scope});
   if (it == keys_.end()) return nullptr;
   ++stats_.hits;
   return &it->second;
@@ -316,6 +337,7 @@ class churn_sigma_strategy : public core::honest_sigma_strategy {
       : start_(start), period_(std::max(1, period)) {}
 
   int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    observe_slot(r, s);
     if (net_->sched().now() < start_) return honest_action(r, s);
     if (first_slot_ < 0) first_slot_ = s.slot;
     const bool up = (s.slot - first_slot_) / period_ % 2 == 0;
@@ -346,6 +368,7 @@ class deaf_sigma_strategy : public core::honest_sigma_strategy {
   explicit deaf_sigma_strategy(sim::time_ns start) : start_(start) {}
 
   int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    observe_slot(r, s);
     if (net_->sched().now() < start_) return honest_action(r, s);
     const flid::flid_config& cfg = r.config();
 
@@ -359,6 +382,7 @@ class deaf_sigma_strategy : public core::honest_sigma_strategy {
     }
     if (achieved == 0) {
       // Cut off. Even a deaf client wants back in; it just never backs off.
+      ++stats_.cutoff_slots;
       if (net_->sched().now() - last_session_join_ >= cfg.slot_duration) {
         ++stats_.cutoffs;
         send_session_join();
@@ -397,6 +421,12 @@ class deaf_sigma_strategy : public core::honest_sigma_strategy {
 /// key pool as a side channel — every reconstruction is deposited, and
 /// layers beyond the own provable prefix are backed by pool keys proved by
 /// a better-placed colluder (paper section 4.2's key-sharing attack).
+///
+/// Under interface keying a colluder only ever possesses its own
+/// interface's key image (the raw key is never submittable anywhere), so
+/// deposits carry the perturbed key tagged with the depositing host and
+/// lookups are scoped to the requesting host: cross-interface queries miss
+/// and the side channel yields nothing (pool hits drop to zero).
 class collusion_sigma_strategy : public core::misbehaving_sigma_strategy {
  public:
   collusion_sigma_strategy(sim::time_ns start, key_mode mode,
@@ -407,21 +437,159 @@ class collusion_sigma_strategy : public core::misbehaving_sigma_strategy {
   void on_keys_reconstructed(
       std::int64_t subscribe_slot,
       const std::vector<std::pair<int, crypto::group_key>>& keys) override {
-    for (const auto& [g, key] : keys) pool_->deposit(subscribe_slot, g, key);
+    for (const auto& [g, key] : keys) {
+      pool_->deposit(subscribe_slot, g, maybe_perturb(key), scope());
+    }
   }
 
   bool sidechannel_keys(
       int group, std::int64_t subscribe_slot, const flid::flid_config& cfg,
       std::vector<std::pair<sim::group_addr, crypto::group_key>>& pairs)
       override {
-    const crypto::group_key* key = pool_->lookup(subscribe_slot, group);
+    const crypto::group_key* key =
+        pool_->lookup(subscribe_slot, group, scope());
     if (key == nullptr) return false;
     pairs.emplace_back(cfg.group(group), *key);
     return true;
   }
 
  private:
+  /// Interface identity the possessed keys are valid at: universal (0)
+  /// without the countermeasure, the attached host under keying.
+  [[nodiscard]] std::uint64_t scope() const {
+    return interface_keying() ? static_cast<std::uint64_t>(receiver_->host())
+                              : 0;
+  }
+
   collusion_coordinator* pool_;
+};
+
+/// adaptive_pulse against SIGMA: the misbehaving machinery with phases tuned
+/// by the slot_feedback hook instead of a fixed schedule. One probe pulse
+/// measures the enforcement lag (attack onset -> observed claw-back of the
+/// granted prefix); every later pulse attacks for exactly that long and
+/// retreats to the honest machinery before punishment lands, returning as
+/// soon as key_lead_slots clean slots have re-proven the entitlement.
+class adaptive_pulse_sigma_strategy : public core::misbehaving_sigma_strategy {
+ public:
+  adaptive_pulse_sigma_strategy(sim::time_ns start, sim::time_ns max_probe,
+                                key_mode mode, std::uint64_t seed)
+      : misbehaving_sigma_strategy(start, mode, seed),
+        max_probe_(max_probe) {
+    util::require(max_probe > 0,
+                  "adaptive_pulse: probe duration must be positive");
+  }
+
+ protected:
+  [[nodiscard]] bool attack_active() const override {
+    return net_->sched().now() >= inflate_at() && on_;
+  }
+
+  void on_feedback(const core::slot_feedback& fb) override {
+    if (fb.now < inflate_at()) {
+      entitled_ = fb.granted;  // honest-phase baseline: the earned level
+      return;
+    }
+    if (phase_start_ < 0) phase_start_ = fb.now;  // first attacking slot
+    const sim::time_ns in_phase = fb.now - phase_start_;
+    if (on_) {
+      peak_ = std::max(peak_, fb.granted);
+      const bool clawed_back =
+          fb.granted == 0 || (peak_ > entitled_ && fb.granted <= entitled_);
+      if (clawed_back) {
+        // The router reined the pulse in: that delay IS the enforcement
+        // lag. Clamp to >= 1 ns — a claw-back on the very first attacking
+        // slot would store 0, which the "not measured yet" sentinel below
+        // could not tell apart from the initial state.
+        observed_lag_ = std::max<sim::time_ns>(1, in_phase);
+        switch_phase(fb.now, false);
+      } else if (observed_lag_ > 0 && in_phase >= observed_lag_) {
+        // Lag known from an earlier pulse: retreat before punishment.
+        switch_phase(fb.now, false);
+      } else if (in_phase >= max_probe_) {
+        // The pulse never paid within the probe budget; stop burning.
+        observed_lag_ = std::max<sim::time_ns>(1, in_phase);
+        switch_phase(fb.now, false);
+      }
+    } else {
+      entitled_ = fb.granted;  // entitlement is whatever flows while honest
+      recovered_slots_ = fb.granted > 0 ? recovered_slots_ + 1 : 0;
+      // Keys harvested from a clean slot guard slot + key_lead_slots: once
+      // that many clean slots passed, the next pulse starts from a fresh
+      // entitlement (the property pulse attacks exist to exploit).
+      if (recovered_slots_ > core::key_lead_slots) switch_phase(fb.now, true);
+    }
+  }
+
+ private:
+  void switch_phase(sim::time_ns now, bool on) {
+    on_ = on;
+    phase_start_ = now;
+    peak_ = 0;
+    recovered_slots_ = 0;
+  }
+
+  sim::time_ns max_probe_;
+  bool on_ = true;  // the first attacking phase is the probe
+  sim::time_ns phase_start_ = -1;
+  sim::time_ns observed_lag_ = 0;  // 0 = not measured yet
+  int entitled_ = 0;
+  int peak_ = 0;
+  int recovered_slots_ = 0;
+};
+
+/// adaptive_churn against SIGMA: a free-rider synchronized to the two-slot
+/// keyless grace of section 3.2.2. Cycle: session-join (grace: the minimal
+/// group flows for the first-packet slot plus key_lead_slots complete
+/// slots), consume exactly that window, then unsubscribe — which wipes the
+/// interface state at the router, including the pending probation — and
+/// rejoin for a fresh window. The receiver never proves a single key yet
+/// keeps receiving; the only thing bounding it is the minimal group's rate
+/// and the dead slot between cycles.
+class adaptive_churn_sigma_strategy : public core::honest_sigma_strategy {
+ public:
+  explicit adaptive_churn_sigma_strategy(sim::time_ns start) : start_(start) {}
+
+  int on_slot(flid::flid_receiver& r, const flid::slot_summary& s) override {
+    const core::slot_feedback fb = observe_slot(r, s);
+    if (fb.now < start_) return honest_action(r, s);
+    const flid::flid_config& cfg = r.config();
+    if (!attacking_) {
+      // Entering attack mode: shed everything above the minimal group and
+      // stop proving keys — from here only keyless admission is used.
+      attacking_ = true;
+      if (r.level() > 1) {
+        std::vector<sim::group_addr> dropped;
+        for (int g = 2; g <= r.level(); ++g) dropped.push_back(cfg.group(g));
+        send_unsubscribe(dropped);
+        r.set_local_level(1);
+      }
+      grace_slots_ = 0;
+    }
+    if (fb.granted > 0) {
+      ++grace_slots_;
+      if (grace_slots_ > core::key_lead_slots) {
+        // Grace spent: the next packet would be denied and convert the
+        // probation into a >= one-slot block. Wipe the state instead.
+        send_unsubscribe({cfg.group(1)});
+        grace_slots_ = 0;
+      }
+    } else {
+      ++stats_.cutoff_slots;
+      grace_slots_ = 0;
+      // Dead slot between grace windows: request fresh keyless admission,
+      // rate-limited like the honest path.
+      if (fb.now - last_session_join_ >= cfg.slot_duration) {
+        send_session_join();
+      }
+    }
+    return r.level();
+  }
+
+ private:
+  sim::time_ns start_;
+  bool attacking_ = false;
+  int grace_slots_ = 0;
 };
 
 }  // namespace
@@ -460,30 +628,59 @@ std::unique_ptr<flid::subscription_strategy> make_strategy(
         // independent inflater.
         return std::make_unique<flid::inflating_plain_strategy>(
             p.start, p.inflate_level);
+      case strategy_kind::adaptive_pulse:
+        // The adaptation targets SIGMA's enforcement signals (claw-back,
+        // grace); the plain router grants every join, so there is nothing
+        // to measure — degenerate to the scripted counterparts.
+        return std::make_unique<pulse_plain_strategy>(
+            p.start, p.pulse_on, p.pulse_off, p.inflate_level);
+      case strategy_kind::adaptive_churn:
+        return std::make_unique<churn_plain_strategy>(p.start, 1, 0);
     }
   } else {
+    std::unique_ptr<core::honest_sigma_strategy> s;
     switch (p.kind) {
       case strategy_kind::honest:
-        return std::make_unique<core::honest_sigma_strategy>();
+        s = std::make_unique<core::honest_sigma_strategy>();
+        break;
       case strategy_kind::inflate_once:
-        return std::make_unique<core::misbehaving_sigma_strategy>(
+        s = std::make_unique<core::misbehaving_sigma_strategy>(
             p.start, p.keys, seed());
+        break;
       case strategy_kind::pulse_inflate:
-        return std::make_unique<pulse_sigma_strategy>(
+        s = std::make_unique<pulse_sigma_strategy>(
             p.start, p.pulse_on, p.pulse_off, p.keys, seed());
+        break;
       case strategy_kind::churn_flap:
-        return std::make_unique<churn_sigma_strategy>(p.start,
-                                                      p.flap_period_slots);
+        s = std::make_unique<churn_sigma_strategy>(p.start,
+                                                   p.flap_period_slots);
+        break;
       case strategy_kind::deaf_receiver:
-        return std::make_unique<deaf_sigma_strategy>(p.start);
+        s = std::make_unique<deaf_sigma_strategy>(p.start);
+        break;
       case strategy_kind::collusion: {
         util::require(static_cast<bool>(ctx.coordinator),
                       "adversary::make_strategy: collusion needs a "
                       "coordinator source");
         collusion_coordinator& pool = ctx.coordinator(p.coalition);
-        return std::make_unique<collusion_sigma_strategy>(p.start, p.keys,
-                                                          seed(), pool);
+        s = std::make_unique<collusion_sigma_strategy>(p.start, p.keys,
+                                                       seed(), pool);
+        break;
       }
+      case strategy_kind::adaptive_pulse:
+        s = std::make_unique<adaptive_pulse_sigma_strategy>(
+            p.start, p.pulse_on, p.keys, seed());
+        break;
+      case strategy_kind::adaptive_churn:
+        s = std::make_unique<adaptive_churn_sigma_strategy>(p.start);
+        break;
+    }
+    if (s != nullptr) {
+      // Every SIGMA strategy must agree with the scenario's router setting:
+      // under interface keying, submitted keys carry the per-interface
+      // perturbation (honest and attacking alike).
+      s->set_interface_keying(ctx.interface_keying);
+      return s;
     }
   }
   util::require(false, "adversary::make_strategy: unknown strategy kind",

@@ -44,10 +44,34 @@
 //                  interface keying). In plain mode there are no keys to
 //                  share, so collusion degenerates to per-member inflation.
 //
+// Two closed-loop (adaptive) strategies bound the worst case instead of the
+// typical case — both are driven by the slot_feedback hook on the SIGMA
+// strategy interface (core::honest_sigma_strategy::on_feedback):
+//
+//   adaptive_pulse Measurement-driven pulse_inflate: probes once to measure
+//                  the enforcement lag (onset -> observed claw-back), then
+//                  attacks for exactly that long each cycle, retreating to
+//                  the honest machinery just before punishment lands and
+//                  returning as soon as keys are re-proven. The duty cycle
+//                  converges to lag/(lag + recovery) — the best sustained
+//                  theft a pulsing attacker can extract from SIGMA's
+//                  enforcement granularity.
+//   adaptive_churn Grace-window free-rider synchronized to SIGMA's two-slot
+//                  keyless grace: session-join, consume the grace, then
+//                  unsubscribe (wiping the interface state, and with it the
+//                  pending probation) and rejoin for a fresh window — data
+//                  forever without ever proving a key. A worst case for the
+//                  keyless-admission policy, not a bandwidth attack (only
+//                  the minimal group is ever granted).
+//
+// In the plain world neither enforcement signal exists (the router honours
+// every join), so the adaptive kinds compile to their scripted counterparts
+// (pulse_inflate / churn_flap) there.
+//
 // All strategies are deterministic: randomness comes only from seeds handed
-// in by the builder (exp::testbed's seed chain), so attack runs are
-// bit-identical across exp::sweep --jobs counts, like the rest of the
-// engine.
+// in by the builder (exp::testbed's seed chain), and the adaptive loops are
+// pure functions of observed slot feedback, so attack runs are bit-identical
+// across exp::sweep --jobs counts, like the rest of the engine.
 #ifndef MCC_ADVERSARY_ADVERSARY_H
 #define MCC_ADVERSARY_ADVERSARY_H
 
@@ -57,6 +81,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -79,6 +104,8 @@ enum class strategy_kind {
   churn_flap,
   deaf_receiver,
   collusion,
+  adaptive_pulse,
+  adaptive_churn,
 };
 
 /// Canonical flag spelling ("inflate_once", "churn_flap", ...).
@@ -117,7 +144,9 @@ struct profile {
   int inflate_level = 0;
   /// SIGMA mode: how unprovable layers are backed.
   key_mode keys = key_mode::guess;
-  /// pulse_inflate: attack / recovery phase durations.
+  /// pulse_inflate: attack / recovery phase durations. adaptive_pulse reads
+  /// pulse_on as its maximal probe duration (phases are measured after the
+  /// first claw-back) and ignores pulse_off.
   sim::time_ns pulse_on = sim::seconds(5.0);
   sim::time_ns pulse_off = sim::seconds(5.0);
   /// churn_flap: slots per phase (1 = toggle every slot) and — in the
@@ -145,11 +174,29 @@ struct profile {
 [[nodiscard]] profile deaf_receiver(sim::time_ns start);
 [[nodiscard]] profile collusion(sim::time_ns start, int coalition = 1,
                                 key_mode keys = key_mode::best_effort);
+/// Adaptive pulse: `on` is the maximal probe duration (how long the first
+/// attack phase may run while the enforcement lag is still unmeasured);
+/// later phases use the measured lag. In the plain world this compiles to
+/// pulse_inflate(start, on, pulse_off).
+[[nodiscard]] profile adaptive_pulse(sim::time_ns start,
+                                     sim::time_ns on = sim::seconds(5.0),
+                                     key_mode keys = key_mode::guess);
+/// Adaptive churn (grace riding); compiles to churn_flap(start, 1) in the
+/// plain world.
+[[nodiscard]] profile adaptive_churn(sim::time_ns start);
 
 /// Shared key pool of one coalition: colluders deposit every key they
 /// reconstruct and look up keys for layers they cannot prove themselves.
 /// Single-world state (one simulated scheduler), so plain maps keep it
 /// deterministic.
+///
+/// Keys carry a `scope`: the interface identity they are valid at. Without
+/// interface keying every key is universal (scope 0, the default), so any
+/// colluder's deposit answers any colluder's lookup — the cross-edge
+/// channel of paper section 4.2. With interface keying each colluder only
+/// ever possesses its own interface's key image, so deposits are tagged
+/// with the depositing host and lookups only match keys usable at the
+/// requesting host: cross-interface queries miss, and `hits` goes to zero.
 class collusion_coordinator {
  public:
   struct counters {
@@ -159,10 +206,12 @@ class collusion_coordinator {
   };
 
   void deposit(std::int64_t subscribe_slot, int group,
-               const crypto::group_key& key);
-  /// Pool key for (slot, group); nullptr on miss. Counts lookups/hits.
+               const crypto::group_key& key, std::uint64_t scope = 0);
+  /// Pool key for (slot, group) usable at `scope`; nullptr on miss. Counts
+  /// lookups/hits.
   [[nodiscard]] const crypto::group_key* lookup(std::int64_t subscribe_slot,
-                                                int group);
+                                                int group,
+                                                std::uint64_t scope = 0);
   [[nodiscard]] const counters& stats() const { return stats_; }
 
  private:
@@ -170,17 +219,21 @@ class collusion_coordinator {
   /// anything older than this window so the pool stays O(window x groups).
   static constexpr std::int64_t retain_slots = 8;
 
-  std::map<std::pair<std::int64_t, int>, crypto::group_key> keys_;
+  std::map<std::tuple<std::int64_t, int, std::uint64_t>, crypto::group_key>
+      keys_;
   counters stats_;
 };
 
 /// Everything make_strategy needs from its builder besides the profile:
 /// a seed source (called once per strategy that consumes randomness — the
 /// call order defines the world's seed chain, so the factory only calls it
-/// when the strategy actually needs a stream) and the coalition pools.
+/// when the strategy actually needs a stream), the coalition pools, and
+/// whether the scenario runs the interface-keying countermeasure (SIGMA
+/// strategies must perturb the keys they submit to match the router).
 struct build_context {
   std::function<std::uint64_t()> next_seed;
   std::function<collusion_coordinator&(int coalition)> coordinator;
+  bool interface_keying = false;
 };
 
 /// Compiles a profile into a live strategy for the given protocol world.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/flid_ds.h"
 #include "util/require.h"
 
 namespace mcc::adversary {
@@ -87,6 +88,39 @@ containment_report measure_containment(
         sim::to_seconds(contained_at - cfg.attack_start);
   }
   return rep;
+}
+
+attacker_cost measure_cost(const flid::flid_receiver& r) {
+  attacker_cost cost;
+  if (const auto* sigma =
+          dynamic_cast<const core::honest_sigma_strategy*>(&r.strategy())) {
+    const auto& st = sigma->stats();
+    cost.ctrl_msgs = st.subscribes + st.unsubscribes + st.session_joins +
+                     st.retransmits;
+    cost.cutoff_slots = st.cutoff_slots;
+    if (const auto* mis =
+            dynamic_cast<const core::misbehaving_sigma_strategy*>(sigma)) {
+      const auto& atk = mis->attack_stats();
+      // Guesses and stale replays can never validate (keys are per-slot and
+      // one-way); pool keys are excluded — with keying off they DO validate,
+      // which is the whole collusion attack.
+      cost.useless_keys = atk.guessed_keys + atk.replayed_keys;
+    }
+    return cost;
+  }
+  // Plain world: the only control plane a strategy drives is its IGMP
+  // client; no keys exist, and the router honours every join, so keys and
+  // cutoffs cost nothing.
+  const auto& m = r.membership().stats();
+  cost.ctrl_msgs = m.joins + m.leaves;
+  return cost;
+}
+
+void attach_cost(containment_report& rep, const attacker_cost& cost) {
+  rep.cost = cost;
+  rep.profit_kbps_per_msg =
+      rep.attacker_kbps /
+      static_cast<double>(std::max<std::uint64_t>(1, cost.ctrl_msgs));
 }
 
 }  // namespace mcc::adversary

@@ -17,11 +17,21 @@
 //
 // All three are pure functions of recorded monitors, so they apply to any
 // strategy x topology x qdisc cell of the attack matrix.
+//
+// The damage side is only half of an attack's economics: attacker_cost adds
+// the attacker's own spend — control messages sent, key submissions that
+// could never validate, and slots spent cut off — so the matrix can rank
+// strategies by profitability (goodput gained per unit of effort), not just
+// by how long the protocol took to rein them in. Cost is collected from the
+// receiver's strategy/membership counters by measure_cost and folded into a
+// containment_report by attach_cost.
 #ifndef MCC_ADVERSARY_CONTAINMENT_H
 #define MCC_ADVERSARY_CONTAINMENT_H
 
+#include <cstdint>
 #include <vector>
 
+#include "flid/flid_receiver.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -47,6 +57,19 @@ struct containment_config {
   double floor_kbps = 50.0;
 };
 
+/// The attacker's own spend over a run, attributable to one receiver.
+struct attacker_cost {
+  /// Control messages sent: SIGMA subscribes/unsubscribes/session-joins and
+  /// retransmits, or IGMP joins/leaves in the plain world.
+  std::uint64_t ctrl_msgs = 0;
+  /// Key submissions that can never validate: random guesses plus stale
+  /// replays (section 4.2's guessing attack, priced).
+  std::uint64_t useless_keys = 0;
+  /// Evaluated slots in which the router delivered nothing — time served
+  /// under probation blocks and stale prunes.
+  std::uint64_t cutoff_slots = 0;
+};
+
 struct containment_report {
   double attacker_kbps = 0.0;       // mean over [start + settle, horizon)
   double honest_kbps = 0.0;         // per-flow honest mean, same window
@@ -56,6 +79,13 @@ struct containment_report {
   double containment_bound_kbps = 0.0;
   double time_to_containment_s = -1.0;  // -1 = not contained by horizon
   bool contained = false;
+  /// Attacker-side spend (zeroed until attach_cost is called).
+  attacker_cost cost{};
+  /// Profitability: attacker goodput per control message sent,
+  /// attacker_kbps / max(1, ctrl_msgs). High = a cheap attack (whether or
+  /// not it was contained); near zero = the attacker burned control-plane
+  /// effort for nothing. Set by attach_cost.
+  double profit_kbps_per_msg = 0.0;
 };
 
 /// Computes the report for one attacker against a set of honest monitors
@@ -77,6 +107,16 @@ struct containment_report {
     const std::vector<const sim::throughput_monitor*>& honest,
     const std::vector<const sim::throughput_monitor*>& reference,
     const containment_config& cfg);
+
+/// Collects the receiver's attributable spend from its strategy and
+/// membership counters: SIGMA strategies report their message/key/cutoff
+/// counters, plain-world strategies their IGMP client's join/leave count.
+/// Works for honest receivers too (their spend is the baseline attackers
+/// are compared against).
+[[nodiscard]] attacker_cost measure_cost(const flid::flid_receiver& r);
+
+/// Folds a cost into a report and derives profit_kbps_per_msg.
+void attach_cost(containment_report& rep, const attacker_cost& cost);
 
 }  // namespace mcc::adversary
 

@@ -135,6 +135,20 @@ void honest_sigma_strategy::send_session_join() {
   net_->get(receiver_->host())->send(std::move(p));
 }
 
+slot_feedback honest_sigma_strategy::observe_slot(flid::flid_receiver& r,
+                                                  const flid::slot_summary& s) {
+  slot_feedback fb;
+  fb.slot = s.slot;
+  fb.now = net_->sched().now();
+  fb.claimed = r.level();
+  for (int g = 1; g <= r.config().num_groups; ++g) {
+    if (s.groups[static_cast<std::size_t>(g)].received == 0) break;
+    fb.granted = g;
+  }
+  on_feedback(fb);
+  return fb;
+}
+
 int honest_sigma_strategy::honest_action(flid::flid_receiver& r,
                                          const flid::slot_summary& s) {
   const flid::flid_config& cfg = r.config();
@@ -151,6 +165,7 @@ int honest_sigma_strategy::honest_action(flid::flid_receiver& r,
     }
   }
   if (!any_packets) {
+    ++stats_.cutoff_slots;
     ++empty_slots_;
     if (empty_slots_ >= 2 &&
         net_->sched().now() - last_session_join_ > 2 * t) {
@@ -230,6 +245,7 @@ int honest_sigma_strategy::honest_action(flid::flid_receiver& r,
 
 int honest_sigma_strategy::on_slot(flid::flid_receiver& r,
                                    const flid::slot_summary& s) {
+  observe_slot(r, s);
   return honest_action(r, s);
 }
 
@@ -252,6 +268,7 @@ bool misbehaving_sigma_strategy::attack_active() const {
 
 int misbehaving_sigma_strategy::on_slot(flid::flid_receiver& r,
                                         const flid::slot_summary& s) {
+  observe_slot(r, s);
   if (!attack_active()) {
     return honest_action(r, s);
   }
@@ -280,6 +297,7 @@ int misbehaving_sigma_strategy::attack_action(flid::flid_receiver& r,
   if (achieved == 0) {
     // Fully cut off: keep hammering session-join (rate limited by router
     // blocking) and guessing.
+    ++stats_.cutoff_slots;
     if (net_->sched().now() - last_session_join_ >= cfg.slot_duration) {
       send_session_join();
     }
@@ -300,8 +318,11 @@ int misbehaving_sigma_strategy::attack_action(flid::flid_receiver& r,
     on_keys_reconstructed(s.slot + key_lead_slots, rec.keys);
     proven = rec.next_level;
     for (const auto& [g, key] : rec.keys) {
-      pairs.emplace_back(cfg.group(g), key);
-      stale_keys_[g] = key;  // remember for replay
+      // Like the honest path, entitled keys must carry the interface
+      // perturbation when the countermeasure is on — an attacker plays the
+      // protocol correctly for layers it has actually earned.
+      pairs.emplace_back(cfg.group(g), maybe_perturb(key));
+      stale_keys_[g] = key;  // remember for replay (raw; perturbed on use)
     }
     if (proven == 0 &&
         net_->sched().now() - last_session_join_ >= cfg.slot_duration) {
@@ -317,7 +338,7 @@ int misbehaving_sigma_strategy::attack_action(flid::flid_receiver& r,
     if (mode_ == key_mode::replay) {
       auto it = stale_keys_.find(g);
       if (it != stale_keys_.end()) {
-        pairs.emplace_back(cfg.group(g), it->second);
+        pairs.emplace_back(cfg.group(g), maybe_perturb(it->second));
         ++attack_stats_.replayed_keys;
       }
     } else if (mode_ == key_mode::guess) {

@@ -36,6 +36,21 @@ struct flid_ds_sender {
     sim::network& net, sim::node_id sender_host, flid::flid_sender& sender,
     std::uint64_t seed, const sigma_emitter_config& emitter_cfg = {});
 
+/// Closed-loop feedback record computed once per evaluated slot: what the
+/// receiver claimed going into the slot versus what the network actually
+/// granted. Honest strategies ignore it; measurement-driven (adaptive)
+/// adversaries key their schedules off it — the granted prefix is the only
+/// signal through which a receiver can observe SIGMA's enforcement lag.
+struct slot_feedback {
+  std::int64_t slot = 0;
+  sim::time_ns now = 0;
+  /// Local subscription level entering the slot (what the receiver wanted).
+  int claimed = 0;
+  /// Contiguous group prefix that actually delivered packets this slot
+  /// (what the edge router granted); 0 = fully cut off.
+  int granted = 0;
+};
+
 /// Honest FLID-DS receiver strategy: per evaluated slot, reconstruct keys
 /// (Figure 4), subscribe for slot s+2 with the address-key pairs, leave
 /// dropped groups explicitly, and re-enter through session-join when cut off
@@ -53,6 +68,7 @@ class honest_sigma_strategy : public flid::subscription_strategy,
   /// Collusion countermeasure mode: perturb reconstructed keys with the
   /// receiving host id before submission (must match the router setting).
   void set_interface_keying(bool on) { interface_keying_ = on; }
+  [[nodiscard]] bool interface_keying() const { return interface_keying_; }
 
   struct counters {
     std::uint64_t subscribes = 0;
@@ -60,6 +76,11 @@ class honest_sigma_strategy : public flid::subscription_strategy,
     std::uint64_t session_joins = 0;
     std::uint64_t retransmits = 0;
     std::uint64_t cutoffs = 0;  // congested at level 1, keys lost
+    /// Evaluated slots in which nothing at all was delivered — the "slots
+    /// spent cut off" term of the attacker cost accounting. Honest receivers
+    /// accrue these only during blackouts/joins; attackers accrue them while
+    /// serving the router's probation and stale-prune cutoffs.
+    std::uint64_t cutoff_slots = 0;
   };
   [[nodiscard]] const counters& stats() const { return stats_; }
 
@@ -67,6 +88,17 @@ class honest_sigma_strategy : public flid::subscription_strategy,
   /// Shared mechanics for subclasses (the misbehaving strategy reuses the
   /// honest machinery but lies about its subscription decisions).
   void attach(flid::flid_receiver& r);
+  /// Computes the slot's closed-loop feedback (claimed vs granted levels),
+  /// fires on_feedback, and returns the record. Every on_slot path — honest,
+  /// misbehaving, and the adaptive subclasses' own overrides — calls this
+  /// exactly once per evaluated slot, so adaptive adversaries observe the
+  /// network no matter which action path runs afterwards.
+  slot_feedback observe_slot(flid::flid_receiver& r,
+                             const flid::slot_summary& s);
+  /// Feedback hook on the strategy interface: sees every slot_feedback
+  /// record. The default does nothing; measurement-driven adversaries
+  /// (adversary::adaptive_pulse / adaptive_churn) tune their schedules here.
+  virtual void on_feedback(const slot_feedback& fb) { (void)fb; }
   /// Key-report hook: observes every DELTA reconstruction result (keys
   /// proving `subscribe_slot`) before submission. Adversary strategies that
   /// pool or leak keys (collusion) tap in here; the default does nothing.

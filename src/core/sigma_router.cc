@@ -102,7 +102,9 @@ void sigma_router_agent::try_decode(int session_id, std::int64_t target_slot) {
     sess.shards.erase(sess.shards.begin());
   }
 
-  // Re-validate subscriptions that raced ahead of their tuple block.
+  // Re-validate subscriptions that raced ahead of their tuple block (with
+  // the same per-interface comparison the direct path uses — a parked
+  // honest key must not turn into a rejected "guess" under keying).
   auto pending_it = pending_.find({session_id, block->target_slot});
   if (pending_it != pending_.end()) {
     auto work = std::move(pending_it->second);
@@ -110,7 +112,7 @@ void sigma_router_agent::try_decode(int session_id, std::int64_t target_slot) {
     for (const auto& sub : work) {
       const key_tuple* t =
           tuple_for(session_id, block->target_slot, sub.group_value);
-      if (t != nullptr && t->matches(sub.key)) {
+      if (t != nullptr && tuple_matches(*t, sub.key, sub.iface)) {
         ++stats_.valid_keys;
         grant(session_id, sub.iface, sub.group_value, block->target_slot);
       } else {
@@ -119,6 +121,25 @@ void sigma_router_agent::try_decode(int session_id, std::int64_t target_slot) {
       }
     }
   }
+}
+
+bool sigma_router_agent::tuple_matches(const key_tuple& tuple,
+                                       const crypto::group_key& submitted,
+                                       sim::link* iface) const {
+  if (!interface_keying_) return tuple.matches(submitted);
+  // Interface identity = the attached host (one receiver host per interface
+  // in our topologies); receivers apply the same perturbation to the keys
+  // they reconstruct.
+  const auto iface_id = static_cast<std::uint64_t>(iface->to()->id());
+  key_tuple perturbed;
+  perturbed.top = crypto::perturb_for_interface(tuple.top, iface_id);
+  if (tuple.dec) {
+    perturbed.dec = crypto::perturb_for_interface(*tuple.dec, iface_id);
+  }
+  if (tuple.inc) {
+    perturbed.inc = crypto::perturb_for_interface(*tuple.inc, iface_id);
+  }
+  return perturbed.matches(submitted);
 }
 
 const key_tuple* sigma_router_agent::tuple_for(int session_id,
@@ -155,26 +176,7 @@ void sigma_router_agent::on_subscribe(const sim::sigma_subscribe& msg,
       }
       continue;
     }
-    bool ok;
-    if (interface_keying_) {
-      // Interface identity = the attached host (one receiver host per
-      // interface in our topologies); receivers apply the same perturbation
-      // to the keys they reconstruct.
-      const auto iface_id =
-          static_cast<std::uint64_t>(iface->to()->id());
-      key_tuple perturbed;
-      perturbed.top = crypto::perturb_for_interface(tuple->top, iface_id);
-      if (tuple->dec) {
-        perturbed.dec = crypto::perturb_for_interface(*tuple->dec, iface_id);
-      }
-      if (tuple->inc) {
-        perturbed.inc = crypto::perturb_for_interface(*tuple->inc, iface_id);
-      }
-      ok = perturbed.matches(submitted);
-    } else {
-      ok = tuple->matches(submitted);
-    }
-    if (ok) {
+    if (tuple_matches(*tuple, submitted, iface)) {
       ++stats_.valid_keys;
       grant(msg.session_id, iface, group.value, msg.slot);
     } else {

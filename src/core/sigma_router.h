@@ -45,9 +45,12 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   /// DELTA ECN variant: invalidate component fields of ECN-marked packets
   /// before they reach receivers.
   void set_ecn_scrub(bool on) { ecn_scrub_ = on; }
-  /// Collusion countermeasure sketch of section 4.2 (interface-specific key
-  /// perturbation). Off by default; exercised in tests/ablations.
+  /// Collusion countermeasure of section 4.2 (interface-specific key
+  /// perturbation). Off by default; switched per scenario via
+  /// exp::testbed_config::interface_keying, which also flips every SIGMA
+  /// receiver strategy to submit perturbed keys.
   void set_interface_keying(bool on) { interface_keying_ = on; }
+  [[nodiscard]] bool interface_keying() const { return interface_keying_; }
 
   struct counters {
     std::uint64_t ctrl_shards = 0;
@@ -117,6 +120,12 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   void ungraft(int group_value, sim::link* iface, iface_group_state& st);
   [[nodiscard]] const key_tuple* tuple_for(int session_id, std::int64_t slot,
                                            int group_value) const;
+  /// The one key comparison both validation paths (direct and
+  /// pending-revalidation) share: raw tuple match, or the per-interface
+  /// perturbed image under keying.
+  [[nodiscard]] bool tuple_matches(const key_tuple& tuple,
+                                   const crypto::group_key& submitted,
+                                   sim::link* iface) const;
 
   sim::network& net_;
   sim::node_id router_;

@@ -49,6 +49,10 @@ testbed::edge_agents& testbed::edge_for(const std::string& site) {
   agents.igmp = std::make_unique<mcast::igmp_agent>(net_, id);
   agents.sigma =
       std::make_unique<core::sigma_router_agent>(net_, id, *agents.igmp);
+  // The interface-keying countermeasure is a scenario-wide contract: every
+  // edge validates perturbed keys iff every receiver strategy submits them
+  // (add_flid_session sets the matching strategy side).
+  agents.sigma->set_interface_keying(cfg_.interface_keying);
   return edges_.emplace(site, std::move(agents)).first->second;
 }
 
@@ -188,6 +192,7 @@ flid_session& testbed::add_flid_session(
   actx.coordinator = [this](int coalition) -> adversary::collusion_coordinator& {
     return coordinator(coalition);
   };
+  actx.interface_keying = cfg_.interface_keying;
   const adversary::protocol proto = mode == flid_mode::dl
                                         ? adversary::protocol::plain
                                         : adversary::protocol::sigma;
@@ -307,6 +312,7 @@ testbed_config scenario(sim::topology_builder topo, std::string sender_site,
   out.buffer_bdp = cfg.buffer_bdp;
   out.base_rtt = cfg.base_rtt;
   out.access_aqm = cfg.access_aqm;
+  out.interface_keying = cfg.interface_keying;
   out.seed = cfg.seed;
   return out;
 }
@@ -421,6 +427,25 @@ sim::aqm_config aqm_config_from_flags(const util::flag_set& flags) {
   cfg.codel.interval = sim::milliseconds(static_cast<std::int64_t>(
       checked("codel-interval", 1.0, 1e9, "a positive millisecond count")));
   return cfg;
+}
+
+void add_interface_keying_flag(util::flag_set& flags, const char* def) {
+  flags.add("interface-keying", def,
+            "collusion countermeasure (section 4.2): off|on|both (both "
+            "sweeps it as a grid axis)");
+}
+
+std::vector<bool> interface_keying_axis_from_flags(
+    const util::flag_set& flags) {
+  const std::string v = flags.str("interface-keying");
+  if (v == "off") return {false};
+  if (v == "on") return {true};
+  if (v == "both") return {false, true};
+  std::fprintf(stderr,
+               "bad value for --interface-keying: '%s' (expected off, on, or "
+               "both)\n",
+               v.c_str());
+  std::exit(1);
 }
 
 }  // namespace mcc::exp

@@ -97,6 +97,12 @@ struct testbed_config {
   /// is configured per scenario/link). An unset aqm.seed inherits the
   /// testbed seed.
   sim::aqm_config access_aqm;
+  /// Interface keying, the collusion countermeasure of paper section 4.2:
+  /// every SIGMA edge agent validates per-interface-perturbed keys and
+  /// every SIGMA receiver strategy (honest and attacking) submits them.
+  /// Closes the cross-edge key-sharing channel: colluders' pooled keys are
+  /// useless at any other interface. No effect on plain (FLID-DL) sessions.
+  bool interface_keying = false;
   std::uint64_t seed = 1;
 };
 
@@ -246,6 +252,8 @@ struct dumbbell_config {
   sim::aqm_config aqm;
   /// Access-link queue discipline (default drop-tail).
   sim::aqm_config access_aqm;
+  /// Interface keying (testbed_config::interface_keying).
+  bool interface_keying = false;
 };
 
 /// Dumbbell testbed: senders attach at "l", receivers at "r".
@@ -265,6 +273,7 @@ struct parking_lot_config {
   std::uint64_t seed = 1;
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
+  bool interface_keying = false;  // testbed_config::interface_keying
 };
 
 [[nodiscard]] testbed_config parking_lot(const parking_lot_config& cfg = {});
@@ -282,6 +291,7 @@ struct star_config {
   std::uint64_t seed = 1;
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
+  bool interface_keying = false;  // testbed_config::interface_keying
 };
 
 [[nodiscard]] testbed_config star(const star_config& cfg = {});
@@ -301,6 +311,7 @@ struct tree_config {
   std::uint64_t seed = 1;
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
+  bool interface_keying = false;  // testbed_config::interface_keying
 };
 
 [[nodiscard]] testbed_config balanced_tree(const tree_config& cfg = {});
@@ -337,6 +348,20 @@ void add_aqm_flags(util::flag_set& flags);
 /// The full --qdisc list in declaration order ("all" expands to every
 /// discipline). Same bad-name behaviour as aqm_config_from_flags.
 [[nodiscard]] std::vector<sim::qdisc> qdisc_list_from_flags(
+    const util::flag_set& flags);
+
+/// Registers the shared interface-keying flag on a bench's flag set:
+///   --interface-keying V   off | on | both ("both" sweeps the countermeasure
+///                          as a grid axis: one cell without, one with)
+/// `def` is the bench's default (the matrix defaults to "both" so the
+/// countermeasure study runs out of the box; scenario benches default off).
+void add_interface_keying_flag(util::flag_set& flags,
+                               const char* def = "off");
+
+/// Decodes --interface-keying into the axis values to sweep, in off-first
+/// order ({false}, {true}, or {false, true}). An unknown value prints a
+/// friendly message and exits(1) — bench-main glue, like the AQM flags.
+[[nodiscard]] std::vector<bool> interface_keying_axis_from_flags(
     const util::flag_set& flags);
 
 }  // namespace mcc::exp

@@ -88,6 +88,14 @@ class flid_receiver : public sim::agent {
   [[nodiscard]] int level() const { return level_; }
   [[nodiscard]] sim::throughput_monitor& monitor() { return monitor_; }
   [[nodiscard]] mcast::membership_client& membership() { return membership_; }
+  [[nodiscard]] const mcast::membership_client& membership() const {
+    return membership_;
+  }
+  /// The strategy driving this receiver (adversary::measure_cost inspects it
+  /// to attribute control-plane spend per receiver).
+  [[nodiscard]] const subscription_strategy& strategy() const {
+    return *strategy_;
+  }
 
   /// Subscription level over time, one entry per change: (time, level).
   [[nodiscard]] const std::vector<std::pair<sim::time_ns, int>>& level_history()

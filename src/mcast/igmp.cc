@@ -49,11 +49,13 @@ membership_client::membership_client(sim::network& net, sim::node_id host,
     : net_(net), host_(host), router_(router) {}
 
 void membership_client::join(sim::group_addr g) {
+  ++stats_.joins;
   net_.get(host_)->host_join(g);
   send(sim::igmp_msg::op::join, g);
 }
 
 void membership_client::leave(sim::group_addr g) {
+  ++stats_.leaves;
   net_.get(host_)->host_leave(g);
   send(sim::igmp_msg::op::leave, g);
 }

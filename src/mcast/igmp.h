@@ -50,6 +50,15 @@ class membership_client {
 
   [[nodiscard]] sim::node_id router() const { return router_; }
 
+  /// Messages this client has sent — the per-receiver control-plane spend in
+  /// the plain world (the edge agent's counters aggregate all interfaces, so
+  /// they cannot attribute cost to one receiver).
+  struct counters {
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+
   /// Size of an IGMP control packet on the wire.
   static constexpr int igmp_packet_bytes = 40;
 
@@ -59,6 +68,7 @@ class membership_client {
   sim::network& net_;
   sim::node_id host_;
   sim::node_id router_;
+  counters stats_;
 };
 
 }  // namespace mcc::mcast

@@ -20,7 +20,8 @@ TEST(adversary_names, strategy_names_round_trip) {
   for (const strategy_kind k :
        {strategy_kind::honest, strategy_kind::inflate_once,
         strategy_kind::pulse_inflate, strategy_kind::churn_flap,
-        strategy_kind::deaf_receiver, strategy_kind::collusion}) {
+        strategy_kind::deaf_receiver, strategy_kind::collusion,
+        strategy_kind::adaptive_pulse, strategy_kind::adaptive_churn}) {
     const auto back = strategy_from_name(strategy_name(k));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, k);
@@ -31,7 +32,7 @@ TEST(adversary_names, strategy_names_round_trip) {
   for (const strategy_kind k : all_attacks()) {
     EXPECT_NE(k, strategy_kind::honest);
   }
-  EXPECT_EQ(all_attacks().size(), 5u);
+  EXPECT_EQ(all_attacks().size(), 7u);
 }
 
 TEST(adversary_names, key_mode_names_round_trip) {
@@ -63,6 +64,18 @@ TEST(adversary_profiles, factories_fill_their_fields) {
   const profile f = churn_flap(sim::seconds(2.0), 4, 6);
   EXPECT_EQ(f.flap_period_slots, 4);
   EXPECT_EQ(f.flap_depth, 6);
+
+  const profile a = adaptive_pulse(sim::seconds(3.0), sim::seconds(8.0),
+                                   key_mode::best_effort);
+  EXPECT_EQ(a.kind, strategy_kind::adaptive_pulse);
+  EXPECT_EQ(a.start, sim::seconds(3.0));
+  EXPECT_EQ(a.pulse_on, sim::seconds(8.0));
+  EXPECT_EQ(a.keys, key_mode::best_effort);
+
+  const profile g = adaptive_churn(sim::seconds(4.0));
+  EXPECT_EQ(g.kind, strategy_kind::adaptive_churn);
+  EXPECT_EQ(g.start, sim::seconds(4.0));
+  EXPECT_TRUE(g.attacks());
 }
 
 TEST(adversary_shim, legacy_inflate_fields_translate_to_inflate_once) {
@@ -133,6 +146,28 @@ TEST(collusion_coordinator_pool, deposit_lookup_and_pruning) {
   EXPECT_EQ(pool.stats().deposits, 2u);
   EXPECT_EQ(pool.stats().lookups, 4u);
   EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(collusion_coordinator_pool, interface_scopes_partition_the_pool) {
+  // Under interface keying every deposit is tagged with the interface it is
+  // valid at; a lookup from any other interface must miss — this is the
+  // mechanism that drives pool hits to zero when the countermeasure is on.
+  collusion_coordinator pool;
+  const crypto::group_key k5{0x1111};
+  const crypto::group_key k6{0x2222};
+  pool.deposit(10, 3, k5, 5);
+  pool.deposit(10, 3, k6, 6);
+  const crypto::group_key* own = pool.lookup(10, 3, 5);
+  ASSERT_NE(own, nullptr);
+  EXPECT_EQ(*own, k5);
+  const crypto::group_key* other = pool.lookup(10, 3, 6);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(*other, k6);
+  // Foreign and universal scopes see nothing.
+  EXPECT_EQ(pool.lookup(10, 3, 7), nullptr);
+  EXPECT_EQ(pool.lookup(10, 3), nullptr);
+  EXPECT_EQ(pool.stats().hits, 2u);
+  EXPECT_EQ(pool.stats().lookups, 4u);
 }
 
 TEST(containment_metrics, synthetic_series_yields_exact_report) {
@@ -334,6 +369,303 @@ TEST(adversary_behaviour, colluders_share_keys_across_edges) {
   EXPECT_GT(pool.lookups, 0u);
   EXPECT_GT(pool.hits, 0u) << "deposits " << pool.deposits << " lookups "
                            << pool.lookups;
+}
+
+namespace {
+
+struct keying_run {
+  double attacker_kbps = 0.0;
+  double ttc_s = -1.0;
+  bool contained = false;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_deposits = 0;
+};
+
+/// The ISSUE-5 acceptance scenario: cross-edge collusion on the tree, with
+/// the honest receiver and TCP loading the contested branch, run with the
+/// countermeasure off or on (same topology, same seeds).
+keying_run run_tree_collusion(bool keying) {
+  exp::tree_config cfg;
+  cfg.depth = 2;
+  cfg.fanout = 2;
+  cfg.seed = 7;
+  cfg.interface_keying = keying;
+  exp::testbed d(exp::balanced_tree(cfg));
+  exp::receiver_options contested;
+  contested.at = "t2_1";
+  contested.attack = collusion(sim::seconds(20.0), 1);
+  exp::receiver_options clean;
+  clean.at = "t2_2";
+  clean.attack = collusion(sim::seconds(20.0), 1);
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {contested, clean});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  auto& tcp = d.add_tcp_flow();
+  d.run_until(sim::seconds(120.0));
+
+  containment_config ccfg;
+  ccfg.attack_start = sim::seconds(20.0);
+  ccfg.horizon = sim::seconds(120.0);
+  // Like the attack matrix: three parties (rogue session, honest session,
+  // TCP) share the 1 Mbps contested edge, so the fair-share floor keeps the
+  // bound honest even though the damaged honest flows run well below it.
+  ccfg.floor_kbps = 1e6 / 1e3 / 3.0;
+  const containment_report rep = measure_containment(
+      rogue.receiver(0).monitor(),
+      {&honest.receiver(0).monitor(), &tcp.sink->monitor()},
+      {&honest.receiver(0).monitor()}, ccfg);
+
+  keying_run out;
+  out.attacker_kbps = rep.attacker_kbps;
+  out.ttc_s = rep.time_to_containment_s;
+  out.contained = rep.contained;
+  out.pool_hits = d.coordinator(1).stats().hits;
+  out.pool_deposits = d.coordinator(1).stats().deposits;
+  return out;
+}
+
+}  // namespace
+
+TEST(interface_keying, closes_cross_edge_collusion_on_the_tree) {
+  const keying_run off = run_tree_collusion(false);
+  const keying_run on = run_tree_collusion(true);
+
+  // Without the countermeasure the clean-branch colluder's keys open the
+  // contested edge: the pool serves hits and the contested colluder holds
+  // layers its own congestion state never earned.
+  EXPECT_GT(off.pool_hits, 0u);
+
+  // With keying, deposits still happen (each colluder banks its own
+  // interface's key images) but no query is ever answered across
+  // interfaces: the section-4.2 channel is closed.
+  EXPECT_GT(on.pool_deposits, 0u);
+  EXPECT_EQ(on.pool_hits, 0u);
+
+  // And the contested colluder is reined in strictly faster (an uncontained
+  // keying-off run counts as slower than any contained time).
+  ASSERT_TRUE(on.contained);
+  if (off.contained) {
+    EXPECT_LT(on.ttc_s, off.ttc_s);
+  }
+  EXPECT_LT(on.attacker_kbps, off.attacker_kbps);
+}
+
+TEST(interface_keying, honest_and_entitled_attacker_keys_still_validate) {
+  // Scenario-wide keying must stay invisible to receivers playing the
+  // protocol correctly for their entitlement: the honest receiver climbs,
+  // and a guessing attacker still proves its *earned* prefix (valid keys at
+  // the edge) while its guesses fail exactly as before.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 7;
+  cfg.interface_keying = true;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack = inflate_once(sim::seconds(30.0), key_mode::guess);
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  d.run_until(sim::seconds(90.0));
+
+  EXPECT_TRUE(d.sigma().interface_keying());
+  EXPECT_GT(d.sigma().stats().valid_keys, 0u);
+  EXPECT_GT(d.sigma().stats().invalid_keys, 0u);  // the guesses
+  EXPECT_GT(honest.receiver().level(), 1);
+  EXPECT_GT(honest.receiver().monitor().total_bytes(), 0);
+  // The attacker holds no more than the contested fair share.
+  const double rogue_kbps = rogue.receiver().monitor().average_kbps(
+      sim::seconds(45.0), sim::seconds(90.0));
+  EXPECT_LT(rogue_kbps, 750.0);
+}
+
+TEST(adversary_behaviour, adaptive_pulse_cycles_with_the_enforcement_lag) {
+  // The adaptive pulse must actually close the loop: attack phases (claimed
+  // level = all groups) alternating with honest recovery phases (lower
+  // levels), driven by observed claw-backs rather than a wall-clock script.
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 7;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack = adaptive_pulse(sim::seconds(30.0), sim::seconds(5.0));
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  d.run_until(sim::seconds(120.0));
+
+  const int n = rogue.config.num_groups;
+  int on_phases = 0;
+  int off_phases = 0;
+  bool at_peak = false;
+  for (const auto& [t, lvl] : rogue.receiver().level_history()) {
+    if (t < sim::seconds(30.0)) continue;
+    if (lvl == n && !at_peak) {
+      ++on_phases;
+      at_peak = true;
+    } else if (lvl < n && at_peak) {
+      ++off_phases;
+      at_peak = false;
+    }
+  }
+  EXPECT_GE(on_phases, 3) << "adaptive pulse never cycled";
+  EXPECT_GE(off_phases, 3);
+  // Recovery phases re-prove keys (valid submissions at the edge), attack
+  // phases guess (invalid ones).
+  EXPECT_GT(d.sigma().stats().valid_keys, 0u);
+  EXPECT_GT(d.sigma().stats().invalid_keys, 0u);
+  // And the protocol still holds it near the fair share.
+  const double rogue_kbps = rogue.receiver().monitor().average_kbps(
+      sim::seconds(45.0), sim::seconds(120.0));
+  const double honest_kbps = honest.receiver().monitor().average_kbps(
+      sim::seconds(45.0), sim::seconds(120.0));
+  EXPECT_LT(rogue_kbps, 750.0) << "honest " << honest_kbps;
+  EXPECT_GT(honest_kbps, 100.0);
+}
+
+TEST(adversary_behaviour, adaptive_churn_rides_grace_without_ever_proving_keys) {
+  // The grace free-rider: only keyless session-joins, no subscribe messages
+  // with keys, yet data keeps arriving through repeated two-slot grace
+  // windows (the unsubscribe wipes the pending probation each cycle).
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 5;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options churner;
+  churner.attack = adaptive_churn(0);
+  auto& session = d.add_flid_session(exp::flid_mode::ds, {churner});
+  d.run_until(sim::seconds(45.0));
+
+  const auto& sg = d.sigma().stats();
+  EXPECT_EQ(sg.valid_keys, 0u);
+  EXPECT_EQ(sg.invalid_keys, 0u);
+  EXPECT_GT(sg.session_joins, 10u);
+  EXPECT_GT(sg.unsubscribes, 10u);
+  EXPECT_GT(sg.grace_forwards, 50u);
+  // Free bytes: the minimal group flows during every grace window.
+  EXPECT_GT(session.receiver().monitor().total_bytes(), 100'000);
+  // But never more than the minimal group: the payoff is bounded.
+  const double kbps = session.receiver().monitor().average_kbps(
+      sim::seconds(10.0), sim::seconds(45.0));
+  EXPECT_LT(kbps, 150.0);
+  EXPECT_GT(kbps, 20.0);
+}
+
+TEST(adversary_behaviour, competing_coalitions_have_isolated_pools) {
+  // Two coalitions in one session on the tree: each colluding pair shares
+  // its own coordinator, and each coalition's containment/cost is
+  // measurable per receiver. Coalition 1 contests the honest branch
+  // (t2_1 + clean partner t2_2); coalition 2 contests it from the honest
+  // receiver's own leaf (t2_0 + clean partner t2_3).
+  exp::tree_config cfg;
+  cfg.depth = 2;
+  cfg.fanout = 2;
+  cfg.seed = 7;
+  exp::testbed d(exp::balanced_tree(cfg));
+  const auto member = [](const std::string& at, int coalition) {
+    exp::receiver_options o;
+    o.at = at;
+    o.attack = collusion(sim::seconds(20.0), coalition);
+    return o;
+  };
+  auto& rogue = d.add_flid_session(
+      exp::flid_mode::ds, {member("t2_1", 1), member("t2_2", 1),
+                           member("t2_0", 2), member("t2_3", 2)});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  auto& tcp = d.add_tcp_flow();
+  d.run_until(sim::seconds(90.0));
+
+  // Distinct pools, both active, with independent counters.
+  const auto& p1 = d.coordinator(1).stats();
+  const auto& p2 = d.coordinator(2).stats();
+  EXPECT_NE(&d.coordinator(1), &d.coordinator(2));
+  EXPECT_GT(p1.deposits, 100u);
+  EXPECT_GT(p2.deposits, 100u);
+  EXPECT_GT(p1.hits, 0u);
+  EXPECT_GT(p2.hits, 0u);
+  // Pool isolation: every query is answered from the coalition's own pool,
+  // so the sum of per-pool hits can never exceed per-pool lookups (a shared
+  // pool would show cross-coalition hits inflating one side).
+  EXPECT_LE(p1.hits, p1.lookups);
+  EXPECT_LE(p2.hits, p2.lookups);
+
+  // Per-coalition containment + cost rows: the contested member of each
+  // coalition gets its own report with its own spend attached.
+  containment_config ccfg;
+  ccfg.attack_start = sim::seconds(20.0);
+  ccfg.horizon = sim::seconds(90.0);
+  const std::vector<const sim::throughput_monitor*> honest_monitors = {
+      &honest.receiver(0).monitor(), &tcp.sink->monitor()};
+  const std::vector<const sim::throughput_monitor*> reference = {
+      &honest.receiver(0).monitor()};
+  for (const int contested : {0, 2}) {
+    containment_report rep = measure_containment(
+        rogue.receiver(contested).monitor(), honest_monitors, reference,
+        ccfg);
+    attach_cost(rep, measure_cost(rogue.receiver(contested)));
+    EXPECT_GT(rep.attacker_kbps, 0.0) << "coalition member " << contested;
+    EXPECT_GT(rep.cost.ctrl_msgs, 0u) << "coalition member " << contested;
+    EXPECT_GT(rep.profit_kbps_per_msg, 0.0);
+  }
+}
+
+TEST(attacker_cost, sigma_guessing_attacker_reports_its_spend) {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 7;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack = inflate_once(sim::seconds(20.0), key_mode::guess);
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+
+  const attacker_cost cost = measure_cost(rogue.receiver());
+  EXPECT_GT(cost.ctrl_msgs, 50u);
+  EXPECT_GT(cost.useless_keys, 1000u);  // 8 guesses per unproven group/slot
+  // An honest receiver subscribes every slot too (similar message count),
+  // but its spend is entirely key-free: useless_keys is what separates an
+  // attacker's control plane from an honest one.
+  const attacker_cost honest_cost = measure_cost(honest.receiver());
+  EXPECT_EQ(honest_cost.useless_keys, 0u);
+  EXPECT_GT(honest_cost.ctrl_msgs, 0u);
+}
+
+TEST(attacker_cost, plain_world_cost_is_the_igmp_message_count) {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  cfg.seed = 3;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options churner;
+  churner.attack = churn_flap(sim::seconds(5.0), 1, 0);
+  auto& session = d.add_flid_session(exp::flid_mode::dl, {churner});
+  d.run_until(sim::seconds(45.0));
+
+  const attacker_cost cost = measure_cost(session.receiver());
+  const auto& m = session.receiver().membership().stats();
+  EXPECT_EQ(cost.ctrl_msgs, m.joins + m.leaves);
+  EXPECT_GT(cost.ctrl_msgs, 200u);  // the flap thrashes membership
+  EXPECT_EQ(cost.useless_keys, 0u);  // no keys exist in the plain world
+  EXPECT_EQ(cost.cutoff_slots, 0u);  // the router honours every join
+}
+
+TEST(attacker_cost, attach_cost_derives_profit_exactly) {
+  containment_report rep;
+  rep.attacker_kbps = 500.0;
+  attacker_cost cost;
+  cost.ctrl_msgs = 250;
+  cost.useless_keys = 7;
+  cost.cutoff_slots = 3;
+  attach_cost(rep, cost);
+  EXPECT_DOUBLE_EQ(rep.profit_kbps_per_msg, 2.0);
+  EXPECT_EQ(rep.cost.useless_keys, 7u);
+  EXPECT_EQ(rep.cost.cutoff_slots, 3u);
+  // Zero messages must not divide by zero: profit is the raw goodput.
+  containment_report free_rep;
+  free_rep.attacker_kbps = 100.0;
+  attach_cost(free_rep, attacker_cost{});
+  EXPECT_DOUBLE_EQ(free_rep.profit_kbps_per_msg, 100.0);
 }
 
 TEST(adversary_determinism, attack_matrix_rows_bit_identical_across_jobs) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "adversary/adversary.h"
+#include "adversary/containment.h"
 #include "crypto/prng.h"
 #include "exp/testbed.h"
 #include "sim/aqm.h"
@@ -226,6 +227,68 @@ TEST(golden_trace_adversary, pulse_inflate_timeline_matches_checked_in_digest) {
 
 TEST(golden_trace_adversary, pulse_digest_is_reproducible_within_a_process) {
   EXPECT_EQ(run_pulse_attack_digest(), run_pulse_attack_digest());
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive-adversary golden trace: the measurement-driven pulse on the same
+// FLID-DS dumbbell. The closed loop (probe -> measured enforcement lag ->
+// tuned phases) is pure feedback logic, so its whole timeline is pinnable
+// the same way; drift here means the adaptation law changed.
+// ---------------------------------------------------------------------------
+
+std::string run_adaptive_pulse_digest() {
+  exp::dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 5;
+  exp::testbed d(exp::dumbbell(cfg));
+  exp::receiver_options attacker;
+  attacker.attack =
+      mcc::adversary::adaptive_pulse(sim::seconds(15.0), sim::seconds(5.0));
+  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
+  auto& honest = d.add_flid_session(exp::flid_mode::ds,
+                                    {exp::receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+
+  fnv1a digest;
+  for (flid::flid_receiver* r : {&rogue.receiver(), &honest.receiver()}) {
+    digest.fold(static_cast<std::uint64_t>(r->monitor().total_bytes()));
+    digest.fold(r->stats().packets);
+    digest.fold(r->stats().slots_congested);
+    for (const auto& [t, lvl] : r->level_history()) {
+      digest.fold(static_cast<std::uint64_t>(t));
+      digest.fold(static_cast<std::uint64_t>(lvl));
+    }
+  }
+  const auto& sg = d.sigma().stats();
+  digest.fold(sg.subscribe_msgs);
+  digest.fold(sg.valid_keys);
+  digest.fold(sg.invalid_keys);
+  digest.fold(sg.denied);
+  digest.fold(sg.grace_forwards);
+  digest.fold(sg.session_joins);
+  digest.fold(sg.unsubscribes);
+  // The attacker's cost counters are part of the pinned contract: the
+  // adaptation law's spend must not drift silently either.
+  const mcc::adversary::attacker_cost cost =
+      mcc::adversary::measure_cost(rogue.receiver());
+  digest.fold(cost.ctrl_msgs);
+  digest.fold(cost.useless_keys);
+  digest.fold(cost.cutoff_slots);
+  const link_stats& bn = d.bottleneck()->stats();
+  digest.fold(bn.enqueued);
+  digest.fold(bn.dropped);
+  digest.fold(bn.delivered);
+  return digest.hex();
+}
+
+TEST(golden_trace_adversary, adaptive_pulse_timeline_matches_checked_in_digest) {
+  EXPECT_EQ(run_adaptive_pulse_digest(), "0xa925fe56e16b02de")
+      << "adaptive-attacker timeline drifted (if intentional, update the "
+         "digest with the value above)";
+}
+
+TEST(golden_trace_adversary, adaptive_digest_is_reproducible_within_a_process) {
+  EXPECT_EQ(run_adaptive_pulse_digest(), run_adaptive_pulse_digest());
 }
 
 }  // namespace

@@ -157,6 +157,29 @@ TEST(scenario, access_links_default_to_droptail) {
   EXPECT_EQ(d.bottleneck()->config().aqm.discipline, sim::qdisc::codel);
 }
 
+TEST(scenario, interface_keying_threads_from_config_to_every_edge) {
+  // Off by default; when a scenario config switches it on, every edge agent
+  // the testbed creates validates interface-perturbed keys, and the
+  // receiver strategies compiled for that testbed submit them — an honest
+  // DS session must climb exactly as without the countermeasure.
+  EXPECT_FALSE(dumbbell_config{}.interface_keying);
+  EXPECT_FALSE(tree_config{}.interface_keying);
+  EXPECT_FALSE(testbed_config{}.interface_keying);
+
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 10e6;
+  cfg.interface_keying = true;
+  testbed d(dumbbell(cfg));
+  EXPECT_TRUE(d.config().interface_keying);
+  auto& s = d.add_flid_session(flid_mode::ds, {receiver_options{}});
+  d.run_until(sim::seconds(60.0));
+  EXPECT_TRUE(d.sigma().interface_keying());
+  EXPECT_TRUE(d.sigma("l").interface_keying());  // sender edge too
+  EXPECT_GT(d.sigma().stats().valid_keys, 0u);
+  EXPECT_EQ(d.sigma().stats().invalid_keys, 0u);
+  EXPECT_GE(s.receiver().level(), 5);
+}
+
 TEST(scenario, negative_access_delay_is_rejected_loudly) {
   // The old API used -1 as a "use the default" sentinel on access_delay; a
   // misconfigured negative delay now fails instead of silently meaning

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Check markdown links in README/docs/ against the working tree.
+
+Verifies every inline markdown link `[text](target)` whose target is a
+relative path: the referenced file must exist (relative to the markdown
+file's directory), and a `#fragment` on a markdown target must match a
+heading in that file (GitHub anchor rules: lowercase, spaces to dashes,
+punctuation stripped). External links (http/https/mailto) are only checked
+for empty targets — CI has no business depending on the network.
+
+Usage:
+
+  tools/check_links.py README.md docs/*.md
+
+Exit 1 with one line per broken link. Stdlib only.
+"""
+
+import os
+import re
+import sys
+
+# Inline links, skipping images' leading "!" is harmless (the target must
+# resolve either way). Code spans are stripped first so `[x](y)` in inline
+# code is not parsed as a link.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_anchor(heading):
+    """GitHub's heading -> anchor id transform (ASCII approximation)."""
+    text = re.sub(r"[`*_~\[\]()]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    anchors = set()
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def check_file(md_path):
+    errors = []
+    base = os.path.dirname(md_path) or "."
+    with open(md_path, encoding="utf-8") as f:
+        lines = f.readlines()
+    in_fence = False
+    for lineno, line in enumerate(lines, 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK_RE.findall(CODE_SPAN_RE.sub("", line)):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                path, frag = md_path, target[1:]
+            elif "#" in target:
+                rel, frag = target.split("#", 1)
+                path = os.path.normpath(os.path.join(base, rel))
+            else:
+                path, frag = os.path.normpath(os.path.join(base, target)), None
+            if not os.path.exists(path):
+                errors.append(f"{md_path}:{lineno}: broken link "
+                              f"'{target}' (no such file {path})")
+                continue
+            if frag is not None and path.endswith(".md"):
+                if frag not in anchors_of(path):
+                    errors.append(f"{md_path}:{lineno}: broken anchor "
+                                  f"'{target}' (no heading #{frag})")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    errors = []
+    for md in sys.argv[1:]:
+        if not os.path.exists(md):
+            errors.append(f"{md}: no such file")
+            continue
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(sys.argv) - 1} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
