@@ -11,10 +11,14 @@
 //   attacker_share   attacker goodput share of everything measured
 //   honest_damage    fraction of the honest flows' pre-attack goodput lost
 //   ttc_s            time-to-containment (s); -1 = not contained by horizon
-//   cost_*           attacker spend: control messages, useless key
-//                    submissions, slots spent cut off
-//   profit           attacker goodput per control message sent (Kbps/msg) —
-//                    the profitability metric strategies are ranked by
+//   cost_*           attacker spend: control messages, control-plane wire
+//                    bytes, useless key submissions, slots spent cut off
+//   profit           attacker goodput per control message (Kbps/msg) and per
+//                    control kilobyte (Kbps/KB). The ranking below sorts by
+//                    the per-KB metric: messages are not fungible — a
+//                    key-stuffed guessing subscribe costs an order of
+//                    magnitude more wire than an IGMP join, and byte pricing
+//                    is what exposes that.
 //
 // Under --mode=ds (default) the expectation is containment everywhere: the
 // SIGMA edge holds every strategy near the honest share. Under --mode=dl the
@@ -307,6 +311,7 @@ int main(int argc, char** argv) {
     double damage = 0.0;
     double ttc = 0.0;
     double profit = 0.0;
+    double profit_kb = 0.0;
     bool contained = true;
     const int attackers = colluding ? 2 : 1;
     for (int a = 0; a < attackers; ++a) {
@@ -324,6 +329,7 @@ int main(int argc, char** argv) {
         contained = rep.contained;
         ttc = rep.time_to_containment_s;
         profit = rep.profit_kbps_per_msg;
+        profit_kb = rep.profit_kbps_per_kb;
       }
       const std::string p = "attacker" + std::to_string(a) + "_";
       row.value(p + "kbps", rep.attacker_kbps);
@@ -331,11 +337,13 @@ int main(int argc, char** argv) {
       row.value(p + "ttc_s", rep.time_to_containment_s);
       row.value(p + "bound_kbps", rep.containment_bound_kbps);
       row.value(p + "cost_msgs", static_cast<double>(rep.cost.ctrl_msgs));
+      row.value(p + "cost_bytes", static_cast<double>(rep.cost.ctrl_bytes));
       row.value(p + "cost_useless_keys",
                 static_cast<double>(rep.cost.useless_keys));
       row.value(p + "cost_cutoff_slots",
                 static_cast<double>(rep.cost.cutoff_slots));
       row.value(p + "profit_kbps_per_msg", rep.profit_kbps_per_msg);
+      row.value(p + "profit_kbps_per_kb", rep.profit_kbps_per_kb);
     }
     row.value("attacker_share",
               attacker_sum + honest_sum > 0.0
@@ -346,6 +354,7 @@ int main(int argc, char** argv) {
     row.value("contained", contained ? 1.0 : 0.0);
     row.value("interface_keying", c.keying ? 1.0 : 0.0);
     row.value("profit_kbps_per_msg", profit);
+    row.value("profit_kbps_per_kb", profit_kb);
     row.value("honest_kbps",
               honest_session.receiver(0).monitor().average_kbps(
                   attack_at + ccfg.settle, horizon));
@@ -391,24 +400,30 @@ int main(int argc, char** argv) {
   }
 
   // Profitability ranking: which strategy extracts the most goodput per
-  // control message. High profit + contained = a cheap nuisance; high
-  // profit + uncontained = the cell to worry about.
+  // control-plane kilobyte. Byte pricing (not message counting) is the fair
+  // comparison across strategies: a key-stuffed guessing subscribe carries an
+  // order of magnitude more wire than an IGMP join or a sparse replay. High
+  // profit + contained = a cheap nuisance; high profit + uncontained = the
+  // cell to worry about.
   std::vector<const exp::sweep_row*> ranked;
   ranked.reserve(rows.size());
   for (const auto& row : rows) ranked.push_back(&row);
   std::sort(ranked.begin(), ranked.end(),
             [](const exp::sweep_row* a, const exp::sweep_row* b) {
-              const double pa = a->value_of("profit_kbps_per_msg");
-              const double pb = b->value_of("profit_kbps_per_msg");
+              const double pa = a->value_of("profit_kbps_per_kb");
+              const double pb = b->value_of("profit_kbps_per_kb");
               return pa != pb ? pa > pb : a->label < b->label;
             });
-  std::printf("\n# profitability ranking (attacker Kbps per control msg)\n");
-  std::printf("# %-44s %11s %10s %13s %13s\n", "cell", "profit", "cost_msgs",
-              "useless_keys", "cutoff_slots");
+  std::printf("\n# profitability ranking (attacker Kbps per control KB)\n");
+  std::printf("# %-44s %11s %11s %10s %11s %13s %13s\n", "cell", "profit_kb",
+              "profit_msg", "cost_msgs", "cost_bytes", "useless_keys",
+              "cutoff_slots");
   for (const exp::sweep_row* row : ranked) {
-    std::printf("  %-44s %11.3f %10.0f %13.0f %13.0f\n", row->label.c_str(),
+    std::printf("  %-44s %11.3f %11.3f %10.0f %11.0f %13.0f %13.0f\n",
+                row->label.c_str(), row->value_of("profit_kbps_per_kb"),
                 row->value_of("profit_kbps_per_msg"),
                 row->value_of("attacker0_cost_msgs"),
+                row->value_of("attacker0_cost_bytes"),
                 row->value_of("attacker0_cost_useless_keys"),
                 row->value_of("attacker0_cost_cutoff_slots"));
   }

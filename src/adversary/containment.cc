@@ -97,6 +97,7 @@ attacker_cost measure_cost(const flid::flid_receiver& r) {
     const auto& st = sigma->stats();
     cost.ctrl_msgs = st.subscribes + st.unsubscribes + st.session_joins +
                      st.retransmits;
+    cost.ctrl_bytes = st.ctrl_bytes;
     cost.cutoff_slots = st.cutoff_slots;
     if (const auto* mis =
             dynamic_cast<const core::misbehaving_sigma_strategy*>(sigma)) {
@@ -113,6 +114,7 @@ attacker_cost measure_cost(const flid::flid_receiver& r) {
   // cutoffs cost nothing.
   const auto& m = r.membership().stats();
   cost.ctrl_msgs = m.joins + m.leaves;
+  cost.ctrl_bytes = m.bytes;
   return cost;
 }
 
@@ -121,6 +123,9 @@ void attach_cost(containment_report& rep, const attacker_cost& cost) {
   rep.profit_kbps_per_msg =
       rep.attacker_kbps /
       static_cast<double>(std::max<std::uint64_t>(1, cost.ctrl_msgs));
+  rep.profit_kbps_per_kb =
+      rep.attacker_kbps /
+      std::max(1.0, static_cast<double>(cost.ctrl_bytes) / 1024.0);
 }
 
 }  // namespace mcc::adversary

@@ -62,6 +62,11 @@ struct attacker_cost {
   /// Control messages sent: SIGMA subscribes/unsubscribes/session-joins and
   /// retransmits, or IGMP joins/leaves in the plain world.
   std::uint64_t ctrl_msgs = 0;
+  /// Wire bytes of those messages. Messages are not equal: a guessing flood
+  /// stuffs dozens of key pairs into each subscribe while a sparse replay
+  /// rides nearly free, so per-byte profitability is the ranking that makes
+  /// floods look as expensive as they are.
+  std::uint64_t ctrl_bytes = 0;
   /// Key submissions that can never validate: random guesses plus stale
   /// replays (section 4.2's guessing attack, priced).
   std::uint64_t useless_keys = 0;
@@ -86,6 +91,11 @@ struct containment_report {
   /// not it was contained); near zero = the attacker burned control-plane
   /// effort for nothing. Set by attach_cost.
   double profit_kbps_per_msg = 0.0;
+  /// Profitability per control-plane kilobyte, attacker_kbps / max(1 KB,
+  /// ctrl_bytes / 1024). The byte-priced ranking: key-stuffed guessing
+  /// floods pay per pair and rank below sparse replays here even when their
+  /// message counts match. Set by attach_cost.
+  double profit_kbps_per_kb = 0.0;
 };
 
 /// Computes the report for one attacker against a set of honest monitors
@@ -115,7 +125,8 @@ struct containment_report {
 /// are compared against).
 [[nodiscard]] attacker_cost measure_cost(const flid::flid_receiver& r);
 
-/// Folds a cost into a report and derives profit_kbps_per_msg.
+/// Folds a cost into a report and derives profit_kbps_per_msg and
+/// profit_kbps_per_kb.
 void attach_cost(containment_report& rep, const attacker_cost& cost);
 
 }  // namespace mcc::adversary

@@ -80,6 +80,7 @@ void honest_sigma_strategy::arm_retransmit(std::uint64_t msg_id) {
           return;
         }
         ++stats_.retransmits;
+        stats_.ctrl_bytes += static_cast<std::uint64_t>(p->second.pkt.size_bytes);
         net_->get(receiver_->host())->send(p->second.pkt);
         arm_retransmit(msg_id);
       });
@@ -103,6 +104,7 @@ void honest_sigma_strategy::send_subscribe(
                           (4 + receiver_->config().key_bits / 8);
   p.dst = sim::dest::to_node(receiver_->edge_router());
   p.hdr = msg;
+  stats_.ctrl_bytes += static_cast<std::uint64_t>(p.size_bytes);
   pending_[msg.msg_id] = pending_msg{p, 2, {}};
   net_->get(receiver_->host())->send(std::move(p));
   arm_retransmit(msg.msg_id);
@@ -119,6 +121,7 @@ void honest_sigma_strategy::send_unsubscribe(
   p.size_bytes = 16 + static_cast<int>(groups.size()) * 4;
   p.dst = sim::dest::to_node(receiver_->edge_router());
   p.hdr = std::move(msg);
+  stats_.ctrl_bytes += static_cast<std::uint64_t>(p.size_bytes);
   net_->get(receiver_->host())->send(std::move(p));
 }
 
@@ -132,6 +135,7 @@ void honest_sigma_strategy::send_session_join() {
   p.size_bytes = 20;
   p.dst = sim::dest::to_node(receiver_->edge_router());
   p.hdr = msg;
+  stats_.ctrl_bytes += static_cast<std::uint64_t>(p.size_bytes);
   net_->get(receiver_->host())->send(std::move(p));
 }
 

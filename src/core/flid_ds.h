@@ -81,6 +81,11 @@ class honest_sigma_strategy : public flid::subscription_strategy,
     /// accrue these only during blackouts/joins; attackers accrue them while
     /// serving the router's probation and stale-prune cutoffs.
     std::uint64_t cutoff_slots = 0;
+    /// Wire bytes of every control message sent (subscribes, unsubscribes,
+    /// session-joins, retransmissions included). Key-stuffed subscribes pay
+    /// per pair, so a guessing flood is far more expensive per message than
+    /// a sparse replay — the byte-priced cost model of attacker_cost.
+    std::uint64_t ctrl_bytes = 0;
   };
   [[nodiscard]] const counters& stats() const { return stats_; }
 

@@ -213,6 +213,40 @@ flid_session& testbed::add_flid_session(
   return *sessions_.back();
 }
 
+flid_population& testbed::add_population(flid_session& session,
+                                         const population_options& opts) {
+  util::require(!finalized_, "testbed: cannot add populations after run");
+  const std::string& site = site_or(opts.at, cfg_.receiver_site);
+  validate_attach_site(site);
+  util::require(opts.access_delay.value_or(0) >= 0,
+                "testbed: negative population access delay", site);
+
+  const int sid = session.config.session_id;
+  const int pidx = static_cast<int>(session.populations.size());
+  auto pop = std::make_unique<flid_population>();
+
+  population::population_config pcfg = opts.population;
+  // Drawn here, not at session creation: scenarios without populations never
+  // consume this stream draw, so historical runs replay byte-identically.
+  pcfg.seed = next_seed();
+  pop->aggregate = std::make_unique<population::edge_aggregate>(
+      sched_, session.config, pcfg);
+
+  const sim::node_id host = attach_host(
+      "mc_pop_" + std::to_string(sid) + "_" + std::to_string(pidx), site,
+      cfg_.access_bps, opts.access_delay.value_or(cfg_.access_delay));
+  const population::protocol proto = session.mode == flid_mode::dl
+                                         ? population::protocol::plain
+                                         : population::protocol::sigma;
+  pop->delegate = std::make_unique<flid::flid_receiver>(
+      net_, host, topo_.node(site), session.config,
+      population::make_aggregate_strategy(proto, *pop->aggregate,
+                                          cfg_.interface_keying));
+  pop->delegate->start(opts.start_time);
+  session.populations.push_back(std::move(pop));
+  return *session.populations.back();
+}
+
 tcp_flow& testbed::add_tcp_flow(sim::time_ns start_time) {
   flow_options opts;
   opts.start_time = start_time;
@@ -446,6 +480,107 @@ std::vector<bool> interface_keying_axis_from_flags(
                "both)\n",
                v.c_str());
   std::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// Population flag glue
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void bad_flag(const char* flag, const std::string& v,
+                           const char* expected) {
+  std::fprintf(stderr, "bad value for --%s: '%s' (expected %s)\n", flag,
+               v.c_str(), expected);
+  std::exit(1);
+}
+
+/// Parses the non-negative number after a `key:` prefix; the whole spec is
+/// echoed in the bad-flag message so the offending list item is visible.
+double spec_number(const char* flag, const std::string& spec,
+                   const std::string& tok, const char* expected) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || !(v >= 0.0)) {
+    bad_flag(flag, spec, expected);
+  }
+  return v;
+}
+
+}  // namespace
+
+void add_population_flags(util::flag_set& flags, const char* default_sizes) {
+  flags.add("population", default_sizes,
+            "aggregated population size(s): comma-separated member counts, "
+            "one grid axis entry each");
+  flags.add("demand", "zipf:1.1",
+            "member layer demand: max | uniform | zipf:S");
+  flags.add("churn", "none",
+            "population churn: none, or comma list of arrive:R, leave:R, "
+            "flash:T:N, flash-leave:T (R members/s, T seconds, N members)");
+}
+
+population::population_config population_config_from_flags(
+    const util::flag_set& flags) {
+  population::population_config cfg;
+
+  const std::string demand = flags.str("demand");
+  if (demand == "max") {
+    cfg.demand.k = population::demand_config::kind::max;
+  } else if (demand == "uniform") {
+    cfg.demand.k = population::demand_config::kind::uniform;
+  } else if (demand.rfind("zipf:", 0) == 0) {
+    cfg.demand.k = population::demand_config::kind::zipf;
+    cfg.demand.zipf_s = spec_number("demand", demand, demand.substr(5),
+                                    "max, uniform, or zipf:S with S >= 0");
+  } else {
+    bad_flag("demand", demand, "max, uniform, or zipf:S");
+  }
+
+  const std::string churn = flags.str("churn");
+  if (churn != "none") {
+    static const char* churn_expect =
+        "none, or comma list of arrive:R, leave:R, flash:T:N, flash-leave:T";
+    for (const std::string& item : util::split_csv(churn)) {
+      if (item.rfind("arrive:", 0) == 0) {
+        cfg.churn.arrival_per_sec =
+            spec_number("churn", churn, item.substr(7), churn_expect);
+      } else if (item.rfind("leave:", 0) == 0) {
+        cfg.churn.leave_per_sec =
+            spec_number("churn", churn, item.substr(6), churn_expect);
+      } else if (item.rfind("flash-leave:", 0) == 0) {
+        cfg.churn.flash_leave_at = sim::seconds(
+            spec_number("churn", churn, item.substr(12), churn_expect));
+      } else if (item.rfind("flash:", 0) == 0) {
+        const std::string rest = item.substr(6);
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string::npos) bad_flag("churn", churn, churn_expect);
+        cfg.churn.flash_at = sim::seconds(
+            spec_number("churn", churn, rest.substr(0, colon), churn_expect));
+        cfg.churn.flash_members = static_cast<std::int64_t>(spec_number(
+            "churn", churn, rest.substr(colon + 1), churn_expect));
+      } else {
+        bad_flag("churn", churn, churn_expect);
+      }
+    }
+  }
+  return cfg;
+}
+
+std::vector<std::int64_t> population_axis_from_flags(
+    const util::flag_set& flags) {
+  const std::string spec = flags.str("population");
+  std::vector<std::int64_t> out;
+  for (const std::string& tok : util::split_csv(spec)) {
+    const double v = spec_number("population", spec, tok,
+                                 "comma-separated non-negative member counts");
+    out.push_back(static_cast<std::int64_t>(v));
+  }
+  if (out.empty()) {
+    bad_flag("population", spec,
+             "comma-separated non-negative member counts");
+  }
+  return out;
 }
 
 }  // namespace mcc::exp

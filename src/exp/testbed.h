@@ -29,6 +29,7 @@
 #include "core/sigma_router.h"
 #include "flid/flid_receiver.h"
 #include "flid/flid_sender.h"
+#include "population/population.h"
 #include "sim/aqm.h"
 #include "sim/network.h"
 #include "sim/topology.h"
@@ -64,6 +65,17 @@ struct receiver_options {
   /// The profile this receiver runs: `attack`, unless the legacy shim
   /// fields are set, which translate to an inflate_once profile.
   [[nodiscard]] adversary::profile effective_profile() const;
+};
+
+/// Placement of an aggregated receiver population (population::edge_aggregate
+/// plus its delegate receiver) at one edge.
+struct population_options {
+  population::population_config population;
+  sim::time_ns start_time = 0;
+  /// Access-link propagation delay of the delegate host; unset = default.
+  std::optional<sim::time_ns> access_delay;
+  /// Edge router the population sits behind; empty = default receiver site.
+  std::string at;
 };
 
 /// Per-session placement.
@@ -106,6 +118,15 @@ struct testbed_config {
   std::uint64_t seed = 1;
 };
 
+/// One aggregated population attached to a session: the aggregate (member
+/// state) and the delegate receiver that drives its consolidated subscription.
+/// The aggregate is declared before the delegate so the strategy's reference
+/// outlives the receiver that owns the strategy.
+struct flid_population {
+  std::unique_ptr<population::edge_aggregate> aggregate;
+  std::unique_ptr<flid::flid_receiver> delegate;
+};
+
 /// One multicast session: sender machinery plus its receivers.
 struct flid_session {
   flid_mode mode = flid_mode::dl;
@@ -114,9 +135,14 @@ struct flid_session {
   std::unique_ptr<flid::flid_sender> sender;
   core::flid_ds_sender ds;  // populated in DS mode
   std::vector<std::unique_ptr<flid::flid_receiver>> receivers;
+  /// Aggregated receiver populations (testbed::add_population).
+  std::vector<std::unique_ptr<flid_population>> populations;
 
   [[nodiscard]] flid::flid_receiver& receiver(int i = 0) {
     return *receivers[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] flid_population& population(int i = 0) {
+    return *populations[static_cast<std::size_t>(i)];
   }
 };
 
@@ -183,6 +209,16 @@ class testbed {
   flid_session& add_flid_session(flid_mode mode, flid::flid_config cfg,
                                  const std::vector<receiver_options>& receivers,
                                  const session_options& opts = {});
+
+  /// Attaches an aggregated receiver population to `session`: one delegate
+  /// host at the chosen edge whose strategy speaks the session's protocol at
+  /// the population's consolidated demand (population::make_aggregate_strategy).
+  /// The aggregate's PRNG seed is drawn from the testbed seed chain here —
+  /// scenarios without populations never draw it, so their streams replay
+  /// byte-identically. Individually simulated receivers (honest or attacking)
+  /// added via add_flid_session coexist with populations at the same edge.
+  flid_population& add_population(flid_session& session,
+                                  const population_options& opts);
 
   tcp_flow& add_tcp_flow(const flow_options& opts = {});
   tcp_flow& add_tcp_flow(sim::time_ns start_time);
@@ -362,6 +398,27 @@ void add_interface_keying_flag(util::flag_set& flags,
 /// order ({false}, {true}, or {false, true}). An unknown value prints a
 /// friendly message and exits(1) — bench-main glue, like the AQM flags.
 [[nodiscard]] std::vector<bool> interface_keying_axis_from_flags(
+    const util::flag_set& flags);
+
+/// Registers the shared population flags on a bench's flag set:
+///   --population LIST  aggregated population size(s), comma-separated
+///                      member counts (benches sweep one grid axis per entry)
+///   --demand SPEC      max | uniform | zipf:S (layer-demand distribution)
+///   --churn SPEC       none, or comma list of arrive:R, leave:R,
+///                      flash:T:N, flash-leave:T (R per second, T seconds,
+///                      N members)
+void add_population_flags(util::flag_set& flags,
+                          const char* default_sizes = "1000000");
+
+/// Decodes --demand / --churn into a population_config (members left 0; the
+/// bench fills it per grid point from the --population axis). Unknown specs
+/// print a friendly message and exit(1) — bench-main glue, like the AQM
+/// flags.
+[[nodiscard]] population::population_config population_config_from_flags(
+    const util::flag_set& flags);
+
+/// The --population axis: one population size per comma-separated entry.
+[[nodiscard]] std::vector<std::int64_t> population_axis_from_flags(
     const util::flag_set& flags);
 
 }  // namespace mcc::exp

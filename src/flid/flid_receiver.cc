@@ -178,26 +178,35 @@ void flid_receiver::set_local_level(int new_level) {
 // Plain strategies
 // ---------------------------------------------------------------------------
 
+int honest_level_step(int level, int cap, const slot_summary& s) {
+  if (s.level == 0) return level;  // not yet receiving a full slot
+  if (s.congested) return level > 1 ? level - 1 : level;
+  if (level < cap && s.upgrade_authorized(level + 1)) return level + 1;
+  return level;
+}
+
+void apply_plain_level(flid_receiver& r, int target) {
+  const int level = r.level();
+  if (target > level) {
+    for (int g = level + 1; g <= target; ++g) {
+      r.membership().join(r.config().group(g));
+    }
+  } else {
+    for (int g = level; g > target; --g) {
+      r.membership().leave(r.config().group(g));
+    }
+  }
+  r.set_local_level(target);
+}
+
 void honest_plain_strategy::session_start(flid_receiver& r) {
   r.set_local_level(1);
   r.membership().join(r.config().group(1));
 }
 
 int honest_plain_strategy::on_slot(flid_receiver& r, const slot_summary& s) {
-  const int n = r.config().num_groups;
-  int level = r.level();
-  if (s.level == 0) return level;  // not yet receiving a full slot
-  if (s.congested) {
-    if (level > 1) {
-      r.membership().leave(r.config().group(level));
-      r.set_local_level(level - 1);
-    }
-    return r.level();
-  }
-  if (level < n && s.upgrade_authorized(level + 1)) {
-    r.membership().join(r.config().group(level + 1));
-    r.set_local_level(level + 1);
-  }
+  const int target = honest_level_step(r.level(), r.config().num_groups, s);
+  if (target != r.level()) apply_plain_level(r, target);
   return r.level();
 }
 

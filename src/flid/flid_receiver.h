@@ -155,6 +155,18 @@ class flid_receiver : public sim::agent {
 // Plain-IGMP strategies (the unprotected world of Figure 1)
 // ---------------------------------------------------------------------------
 
+/// One honest FLID-DL control step: the new target level for a receiver at
+/// `level` after evaluating `s`, never exceeding `cap` — drop the top layer
+/// on a lossy slot, add a layer when authorized and loss-free. Shared by
+/// honest_plain_strategy (cap = num_groups) and population aggregates, whose
+/// cap is the highest layer any live member demands.
+[[nodiscard]] int honest_level_step(int level, int cap, const slot_summary& s);
+
+/// Applies a target level through the plain control plane: IGMP joins/leaves
+/// for the delta, then the local level update (the exact message order of the
+/// honest strategy).
+void apply_plain_level(flid_receiver& r, int target);
+
 /// Well-behaved FLID-DL receiver: drop the top layer on a lossy slot, add a
 /// layer when authorized and loss-free.
 class honest_plain_strategy : public subscription_strategy {

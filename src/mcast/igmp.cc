@@ -61,6 +61,7 @@ void membership_client::leave(sim::group_addr g) {
 }
 
 void membership_client::send(sim::igmp_msg::op op, sim::group_addr g) {
+  stats_.bytes += igmp_packet_bytes;
   sim::packet p;
   p.size_bytes = igmp_packet_bytes;
   p.dst = sim::dest::to_node(router_);

@@ -56,6 +56,9 @@ class membership_client {
   struct counters {
     std::uint64_t joins = 0;
     std::uint64_t leaves = 0;
+    /// Wire bytes of every message sent — the plain world's control-plane
+    /// byte spend (adversary::attacker_cost prices bytes, not just messages).
+    std::uint64_t bytes = 0;
   };
   [[nodiscard]] const counters& stats() const { return stats_; }
 

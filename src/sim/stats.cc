@@ -51,6 +51,41 @@ std::vector<std::pair<double, double>> throughput_monitor::series_kbps(
   return out;
 }
 
+level_timeline consolidate_level_timelines(
+    const std::vector<const level_timeline*>& timelines) {
+  // Event sweep: gather every change point, process all entries sharing a
+  // timestamp together, and emit the running maximum whenever it moves.
+  struct change {
+    time_ns t;
+    std::size_t who;
+    int level;
+  };
+  std::vector<change> changes;
+  for (std::size_t i = 0; i < timelines.size(); ++i) {
+    util::require(timelines[i] != nullptr,
+                  "consolidate_level_timelines: null timeline");
+    for (const auto& [t, lvl] : *timelines[i]) changes.push_back({t, i, lvl});
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const change& a, const change& b) { return a.t < b.t; });
+  std::vector<int> current(timelines.size(), 0);
+  level_timeline out;
+  int consolidated = 0;
+  for (std::size_t i = 0; i < changes.size();) {
+    const time_ns t = changes[i].t;
+    for (; i < changes.size() && changes[i].t == t; ++i) {
+      current[changes[i].who] = changes[i].level;
+    }
+    const int max_level =
+        current.empty() ? 0 : *std::max_element(current.begin(), current.end());
+    if (out.empty() ? max_level != 0 : max_level != consolidated) {
+      consolidated = max_level;
+      out.emplace_back(t, consolidated);
+    }
+  }
+  return out;
+}
+
 double jain_fairness_index(std::span<const double> rates) {
   util::require(!rates.empty(), "jain_fairness_index: no rates");
   double sum = 0.0;

@@ -42,6 +42,18 @@ class throughput_monitor {
 /// Jain's fairness index over a set of rates: (sum x)^2 / (n * sum x^2).
 [[nodiscard]] double jain_fairness_index(std::span<const double> rates);
 
+/// A subscription-level timeline: one (time, level) entry per change, as
+/// recorded by flid_receiver::level_history().
+using level_timeline = std::vector<std::pair<time_ns, int>>;
+
+/// Consolidates per-receiver timelines into the branch-visible maximum — the
+/// ABR-style point-to-multipoint merge: what a branch carries is the highest
+/// level any receiver behind it holds at that instant. A receiver's level is
+/// 0 before its first entry. Used by the population layer's conformance
+/// contract (an aggregate must reproduce exactly this merge of its members).
+[[nodiscard]] level_timeline consolidate_level_timelines(
+    const std::vector<const level_timeline*>& timelines);
+
 }  // namespace mcc::sim
 
 #endif  // MCC_SIM_STATS_H

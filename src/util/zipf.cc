@@ -1,0 +1,40 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace mcc::util {
+
+zipf_sampler::zipf_sampler(int n, double s) : s_(s) {
+  require(n >= 1, "zipf_sampler: need at least one rank", n);
+  require(s >= 0.0, "zipf_sampler: negative exponent", s);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf_[static_cast<std::size_t>(k - 1)] = acc;
+  }
+  // Normalize in place; pin the last entry to exactly 1 so u -> rank is
+  // total even when the division rounds the tail just below 1.
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+int zipf_sampler::sample(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = it == cdf_.end() ? cdf_.size() - 1
+                                    : static_cast<std::size_t>(it - cdf_.begin());
+  return static_cast<int>(idx) + 1;
+}
+
+double zipf_sampler::pmf(int k) const {
+  require(k >= 1 && k <= n(), "zipf_sampler::pmf: rank out of range", k);
+  const double hi = cdf_[static_cast<std::size_t>(k - 1)];
+  const double lo = k == 1 ? 0.0 : cdf_[static_cast<std::size_t>(k - 2)];
+  return hi - lo;
+}
+
+}  // namespace mcc::util

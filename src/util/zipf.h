@@ -1,0 +1,46 @@
+// Deterministic Zipf(s) sampler over ranks 1..n via inverse-CDF lookup on a
+// precomputed table.
+//
+// The sampler is a pure function of the uniform variate the caller feeds it:
+// it owns no generator state, so any seeded stream (crypto::prng, a raw
+// splitmix64 chain, a replayed trace) drives it reproducibly. The population
+// layer uses it for per-member layer demand (multicast audiences are heavily
+// skewed toward the low layers — Lucas et al.), but nothing here is specific
+// to that workload.
+#ifndef MCC_UTIL_ZIPF_H
+#define MCC_UTIL_ZIPF_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mcc::util {
+
+/// Inverse-CDF Zipf sampler: P(k) proportional to k^-s for k in 1..n.
+/// s == 0 degenerates to the uniform distribution over 1..n.
+class zipf_sampler {
+ public:
+  zipf_sampler(int n, double s);
+
+  /// Rank for a uniform variate u in [0, 1); u outside the range is clamped.
+  [[nodiscard]] int sample(double u) const;
+
+  /// Rank for a raw 64-bit word (e.g. straight from a splitmix64 chain),
+  /// mapped to [0, 1) the same way crypto::prng::uniform maps its output.
+  [[nodiscard]] int sample_bits(std::uint64_t raw) const {
+    return sample(static_cast<double>(raw >> 11) * 0x1.0p-53);
+  }
+
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(int k) const;
+
+  [[nodiscard]] int n() const { return static_cast<int>(cdf_.size()); }
+  [[nodiscard]] double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k); back() == 1.0
+};
+
+}  // namespace mcc::util
+
+#endif  // MCC_UTIL_ZIPF_H

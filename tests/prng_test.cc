@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "util/zipf.h"
+
 namespace mcc::crypto {
 namespace {
 
@@ -146,3 +148,100 @@ INSTANTIATE_TEST_SUITE_P(all_positions, prng_bit_balance,
 
 }  // namespace
 }  // namespace mcc::crypto
+
+// ---------------------------------------------------------------------------
+// util::zipf_sampler: the deterministic inverse-CDF sampler driven by any
+// uniform stream (the population layer's member-demand distribution).
+// ---------------------------------------------------------------------------
+
+namespace mcc::util {
+namespace {
+
+TEST(zipf_sampler, pmf_is_a_normalized_decaying_distribution) {
+  const zipf_sampler z(10, 1.1);
+  double total = 0.0;
+  for (int k = 1; k <= 10; ++k) {
+    const double p = z.pmf(k);
+    EXPECT_GT(p, 0.0) << "k=" << k;
+    if (k > 1) EXPECT_LT(p, z.pmf(k - 1)) << "k=" << k;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(zipf_sampler, empirical_frequencies_match_pmf) {
+  const zipf_sampler z(10, 1.1);
+  crypto::prng g(101);
+  std::vector<int> counts(11, 0);
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const int k = z.sample(g.uniform());
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 10);
+    ++counts[k];
+  }
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k), 0.01)
+        << "k=" << k;
+  }
+}
+
+TEST(zipf_sampler, zero_exponent_is_uniform) {
+  const zipf_sampler z(8, 0.0);
+  for (int k = 1; k <= 8; ++k) EXPECT_NEAR(z.pmf(k), 1.0 / 8.0, 1e-12);
+}
+
+TEST(zipf_sampler, heavier_exponent_concentrates_the_base_rank) {
+  const zipf_sampler light(10, 0.5);
+  const zipf_sampler heavy(10, 2.0);
+  EXPECT_GT(heavy.pmf(1), light.pmf(1));
+  EXPECT_LT(heavy.pmf(10), light.pmf(10));
+}
+
+TEST(zipf_sampler, sample_is_a_pure_function_of_the_variate) {
+  const zipf_sampler a(10, 1.1);
+  const zipf_sampler b(10, 1.1);
+  crypto::prng g(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform();
+    EXPECT_EQ(a.sample(u), b.sample(u));
+  }
+}
+
+TEST(zipf_sampler, edge_variates_map_to_the_extreme_ranks) {
+  const zipf_sampler z(10, 1.1);
+  EXPECT_EQ(z.sample(0.0), 1);
+  EXPECT_EQ(z.sample(1.0), 10);
+  // Out-of-range variates clamp instead of indexing out of the table.
+  EXPECT_EQ(z.sample(-0.5), 1);
+  EXPECT_EQ(z.sample(2.0), 10);
+}
+
+TEST(zipf_sampler, sample_bits_matches_prng_uniform_mapping) {
+  const zipf_sampler z(10, 1.1);
+  crypto::prng bits(55);
+  crypto::prng vals(55);
+  for (int i = 0; i < 1000; ++i) {
+    // prng::uniform is (next() >> 11) * 2^-53; sample_bits applies the same
+    // mapping, so identical streams must land on identical ranks.
+    EXPECT_EQ(z.sample_bits(bits.next()), z.sample(vals.uniform()));
+  }
+}
+
+TEST(zipf_sampler, single_rank_degenerates) {
+  const zipf_sampler z(1, 1.1);
+  EXPECT_EQ(z.sample(0.0), 1);
+  EXPECT_EQ(z.sample(0.999), 1);
+  EXPECT_NEAR(z.pmf(1), 1.0, 1e-12);
+}
+
+TEST(zipf_sampler, rejects_bad_parameters) {
+  EXPECT_THROW(zipf_sampler(0, 1.0), invariant_error);
+  EXPECT_THROW(zipf_sampler(10, -0.5), invariant_error);
+  const zipf_sampler z(10, 1.1);
+  EXPECT_THROW((void)z.pmf(0), invariant_error);
+  EXPECT_THROW((void)z.pmf(11), invariant_error);
+}
+
+}  // namespace
+}  // namespace mcc::util

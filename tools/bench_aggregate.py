@@ -91,7 +91,13 @@ def load_records(path):
                 if isinstance(value, (int, float)):
                     yield bench, key, metric, float(value)
     else:
-        print(f"note: {path} matches no known schema, skipped",
+        # A skipped artifact silently shrinks the regression gate's coverage,
+        # so name the file AND what it actually contained: a schema drift in
+        # one bench should be visible in the CI log, not swallowed.
+        columns = sorted(doc) if isinstance(doc, dict) else type(doc).__name__
+        print(f"warning: {path}: matches no known schema "
+              f"(expected a 'rows' or 'benchmarks' document, found "
+              f"{columns}); skipped — its metrics are NOT aggregated",
               file=sys.stderr)
 
 
