@@ -17,6 +17,11 @@
 
 using namespace mcc;
 
+namespace {
+// --sched: every simulated world this bench builds runs the chosen policy.
+sim::scheduler_config g_sched;
+}  // namespace
+
 int main(int argc, char** argv) {
   util::flag_set flags("Figure 7: FLID-DS under the inflated-subscription attack");
   flags.add("duration", "200", "experiment length, seconds");
@@ -26,7 +31,9 @@ int main(int argc, char** argv) {
   flags.add("seed", "7", "simulation seed");
   exp::add_interface_keying_flag(flags);
   exp::add_sweep_flags(flags);
+  exp::add_sched_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
+  g_sched = exp::sched_config_from_flags(flags);
 
   const double duration = flags.f64("duration");
   const double inflate_at_s = flags.f64("inflate_at");
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
   const auto rows = exp::run_sweep(
       {1.0}, opts, [&](const exp::sweep_point& pt) {
         exp::dumbbell_config cfg;
+        cfg.sched = g_sched;
         cfg.bottleneck_bps = 1e6;
         cfg.seed = pt.seed;
         cfg.interface_keying = keying;

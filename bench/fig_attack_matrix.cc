@@ -48,6 +48,11 @@
 using namespace mcc;
 
 namespace {
+// --sched: every simulated world this bench builds runs the chosen policy.
+sim::scheduler_config g_sched;
+}  // namespace
+
+namespace {
 
 /// Every topology's contested links run at this rate; the containment
 /// bound's fair-share floor is derived from it below.
@@ -73,6 +78,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
   aqm.discipline = queue;
   if (topo == "dumbbell") {
     exp::dumbbell_config cfg;
+    cfg.sched = g_sched;
     cfg.bottleneck_bps = path_bps;
     cfg.seed = seed;
     cfg.aqm = aqm;
@@ -82,6 +88,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
   }
   if (topo == "parking_lot") {
     exp::parking_lot_config cfg;
+    cfg.sched = g_sched;
     cfg.bottlenecks = 2;
     cfg.bottleneck_bps = path_bps;
     cfg.seed = seed;
@@ -95,6 +102,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
   }
   if (topo == "tree") {
     exp::tree_config cfg;
+    cfg.sched = g_sched;
     cfg.depth = 2;
     cfg.fanout = 2;
     cfg.edge_bps = path_bps;
@@ -138,7 +146,9 @@ int main(int argc, char** argv) {
   exp::add_interface_keying_flag(flags, "both");
   exp::add_aqm_flags(flags);
   exp::add_sweep_flags(flags);
+  exp::add_sched_flag(flags);
   if (!flags.parse(argc, argv)) return 1;
+  g_sched = exp::sched_config_from_flags(flags);
 
   const double duration = flags.f64("duration");
   const double attack_at_s = flags.f64("attack-at");

@@ -42,12 +42,21 @@ struct sweep_point {
 
 struct sweep_options {
   int jobs = 1;  // worker threads (values < 1 behave like 1)
+  /// When > 0, the grid is sharded across forked worker *processes*, each
+  /// running `jobs_per_process` threads against its own slab pools (so wide
+  /// grids scale past allocator contention). Enough processes are forked to
+  /// reach max(jobs, jobs_per_process) total workers. Rows travel back over
+  /// a pipe in raw IEEE-754 bytes, so merged output stays byte-identical to
+  /// `--jobs 1`. A worker that dies mid-shard is a loud error, never a
+  /// truncated result. 0 = in-process threads only.
+  int jobs_per_process = 0;
   std::uint64_t base_seed = 1;
 };
 
 /// Registers the sweep-standard flags on a bench's flag set:
-///   --jobs N        worker threads for the parameter grid
-///   --json PATH     also write machine-readable results to PATH
+///   --jobs N              worker threads for the parameter grid
+///   --jobs-per-process N  fork workers, N threads each (0 = in-process)
+///   --json PATH           also write machine-readable results to PATH
 void add_sweep_flags(util::flag_set& flags);
 
 /// Reads the standard flags back; `base_seed` is the bench's own seed flag.

@@ -25,7 +25,10 @@ adversary::profile receiver_options::effective_profile() const {
 }
 
 testbed::testbed(testbed_config cfg)
-    : cfg_(std::move(cfg)), net_(sched_), seed_state_(cfg_.seed) {
+    : cfg_(std::move(cfg)),
+      sched_(cfg_.sched),
+      net_(sched_),
+      seed_state_(cfg_.seed) {
   util::require(!cfg_.topology.empty(), "testbed: empty topology");
   topo_ = cfg_.topology.build(net_);
   util::require(!topo_.routers().empty(), "testbed: topology has no routers");
@@ -347,6 +350,7 @@ testbed_config scenario(sim::topology_builder topo, std::string sender_site,
   out.base_rtt = cfg.base_rtt;
   out.access_aqm = cfg.access_aqm;
   out.interface_keying = cfg.interface_keying;
+  out.sched = cfg.sched;
   out.seed = cfg.seed;
   return out;
 }
@@ -388,8 +392,11 @@ double average_receiver_kbps(flid_session& session, sim::time_ns t0,
 // ---------------------------------------------------------------------------
 
 void add_aqm_flags(util::flag_set& flags) {
-  flags.add("qdisc", "droptail",
-            "queue discipline(s): droptail|ecn|red|codel, comma list or all");
+  flags.add_enum("qdisc", "droptail",
+                 "queue discipline(s); comma lists sweep one grid axis per "
+                 "entry",
+                 {"droptail", "ecn", "ecn_threshold", "red", "codel", "all"},
+                 /*csv_list=*/true);
   flags.add("ecn-threshold", "0.5", "ecn: mark above this occupancy fraction");
   flags.add("red-min", "0.15", "red: min threshold, fraction of capacity");
   flags.add("red-max", "0.5", "red: max threshold, fraction of capacity");
@@ -463,10 +470,34 @@ sim::aqm_config aqm_config_from_flags(const util::flag_set& flags) {
   return cfg;
 }
 
+void add_sched_flag(util::flag_set& flags) {
+  flags.add_enum("sched", "heap",
+                 "event-queue policy (identical results either way; wheel is "
+                 "O(1) per op at large pending counts)",
+                 {"heap", "wheel"});
+}
+
+sim::scheduler_config sched_config_from_flags(const util::flag_set& flags) {
+  const std::string name = flags.str("sched");
+  const auto policy = sim::sched_policy_from_name(name);
+  // add_enum validated the value at parse time; this only guards benches
+  // that set the flag programmatically.
+  if (!policy.has_value()) {
+    std::fprintf(stderr, "bad value for --sched: '%s' (expected heap or "
+                         "wheel)\n",
+                 name.c_str());
+    std::exit(1);
+  }
+  sim::scheduler_config cfg;
+  cfg.policy = *policy;
+  return cfg;
+}
+
 void add_interface_keying_flag(util::flag_set& flags, const char* def) {
-  flags.add("interface-keying", def,
-            "collusion countermeasure (section 4.2): off|on|both (both "
-            "sweeps it as a grid axis)");
+  flags.add_enum("interface-keying", def,
+                 "collusion countermeasure (section 4.2): both sweeps it as "
+                 "a grid axis",
+                 {"off", "on", "both"});
 }
 
 std::vector<bool> interface_keying_axis_from_flags(

@@ -115,6 +115,9 @@ struct testbed_config {
   /// Closes the cross-edge key-sharing channel: colluders' pooled keys are
   /// useless at any other interface. No effect on plain (FLID-DL) sessions.
   bool interface_keying = false;
+  /// Event-queue policy of the testbed's scheduler (heap or timer wheel);
+  /// both fire the exact same event order, so results are policy-invariant.
+  sim::scheduler_config sched;
   std::uint64_t seed = 1;
 };
 
@@ -290,6 +293,8 @@ struct dumbbell_config {
   sim::aqm_config access_aqm;
   /// Interface keying (testbed_config::interface_keying).
   bool interface_keying = false;
+  /// Event-queue policy (testbed_config::sched).
+  sim::scheduler_config sched;
 };
 
 /// Dumbbell testbed: senders attach at "l", receivers at "r".
@@ -310,6 +315,7 @@ struct parking_lot_config {
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
   bool interface_keying = false;  // testbed_config::interface_keying
+  sim::scheduler_config sched;    // testbed_config::sched
 };
 
 [[nodiscard]] testbed_config parking_lot(const parking_lot_config& cfg = {});
@@ -328,6 +334,7 @@ struct star_config {
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
   bool interface_keying = false;  // testbed_config::interface_keying
+  sim::scheduler_config sched;    // testbed_config::sched
 };
 
 [[nodiscard]] testbed_config star(const star_config& cfg = {});
@@ -348,6 +355,7 @@ struct tree_config {
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
   bool interface_keying = false;  // testbed_config::interface_keying
+  sim::scheduler_config sched;    // testbed_config::sched
 };
 
 [[nodiscard]] testbed_config balanced_tree(const tree_config& cfg = {});
@@ -398,6 +406,18 @@ void add_interface_keying_flag(util::flag_set& flags,
 /// order ({false}, {true}, or {false, true}). An unknown value prints a
 /// friendly message and exits(1) — bench-main glue, like the AQM flags.
 [[nodiscard]] std::vector<bool> interface_keying_axis_from_flags(
+    const util::flag_set& flags);
+
+/// Registers the shared scheduler-policy flag on a bench's flag set:
+///   --sched P   event-queue policy: heap | wheel. Both policies fire the
+///               exact same event order, so results and golden digests are
+///               policy-invariant; wheel is O(1) per op at large pending
+///               counts (see docs/performance.md).
+void add_sched_flag(util::flag_set& flags);
+
+/// Decodes --sched into a scheduler_config (parse-time enum validation means
+/// the value is already known good).
+[[nodiscard]] sim::scheduler_config sched_config_from_flags(
     const util::flag_set& flags);
 
 /// Registers the shared population flags on a bench's flag set:

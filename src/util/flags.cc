@@ -66,6 +66,47 @@ void flag_set::add(const std::string& name, const std::string& default_value,
   entries_[name] = std::move(e);
 }
 
+namespace {
+
+std::string join_allowed(const std::vector<std::string>& allowed) {
+  std::string out;
+  for (const std::string& a : allowed) {
+    if (!out.empty()) out += ", ";
+    out += a;
+  }
+  return out;
+}
+
+bool enum_value_ok(const std::vector<std::string>& allowed, bool csv_list,
+                   const std::string& value) {
+  const auto ok_one = [&](const std::string& v) {
+    for (const std::string& a : allowed) {
+      if (v == a) return true;
+    }
+    return false;
+  };
+  if (!csv_list) return ok_one(value);
+  for (const std::string& part : split_csv(value)) {
+    if (!ok_one(part)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void flag_set::add_enum(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help,
+                        std::vector<std::string> allowed, bool csv_list) {
+  require(!entries_.contains(name), "duplicate flag", name);
+  require(!allowed.empty(), "add_enum: empty allowed set", name);
+  entry e{default_value, default_value, help, kind::enumerated,
+          std::move(allowed), csv_list};
+  require(enum_value_ok(e.allowed, e.csv_list, default_value),
+          "add_enum: default not in allowed set", name);
+  entries_[name] = std::move(e);
+}
+
 bool flag_set::set_value(const std::string& name, const std::string& value) {
   auto it = entries_.find(name);
   require(it != entries_.end(), "set_value: undeclared flag", name);
@@ -73,6 +114,14 @@ bool flag_set::set_value(const std::string& name, const std::string& value) {
   if (e.k == kind::numeric && !parse_f64(value).has_value()) {
     std::fprintf(stderr, "bad value for --%s: '%s' (expected a number)\n",
                  name.c_str(), value.c_str());
+    return false;
+  }
+  if (e.k == kind::enumerated &&
+      !enum_value_ok(e.allowed, e.csv_list, value)) {
+    std::fprintf(stderr, "bad value for --%s: '%s' (expected one of %s%s)\n",
+                 name.c_str(), value.c_str(),
+                 join_allowed(e.allowed).c_str(),
+                 e.csv_list ? ", or a comma-separated list of them" : "");
     return false;
   }
   e.value = value;  // repeated flags are last-wins
@@ -158,8 +207,14 @@ void flag_set::print_usage() const {
   if (!description_.empty()) std::fprintf(stderr, "%s\n", description_.c_str());
   std::fprintf(stderr, "flags:\n");
   for (const auto& [name, e] : entries_) {
-    std::fprintf(stderr, "  --%s (default: %s)  %s\n", name.c_str(),
-                 e.default_value.c_str(), e.help.c_str());
+    if (e.k == kind::enumerated) {
+      std::fprintf(stderr, "  --%s (default: %s)  %s [one of: %s]\n",
+                   name.c_str(), e.default_value.c_str(), e.help.c_str(),
+                   join_allowed(e.allowed).c_str());
+    } else {
+      std::fprintf(stderr, "  --%s (default: %s)  %s\n", name.c_str(),
+                   e.default_value.c_str(), e.help.c_str());
+    }
   }
 }
 

@@ -34,6 +34,15 @@ class flag_set {
   void add(const std::string& name, const std::string& default_value,
            const std::string& help);
 
+  /// Declares an enum-valued flag: only the listed values parse, anything
+  /// else fails with "bad value for --name: 'v' (expected one of ...)".
+  /// With `csv_list` every comma-separated element of the value must be one
+  /// of the allowed names ("--qdisc droptail,red"); empty elements are
+  /// rejected. The default itself must validate.
+  void add_enum(const std::string& name, const std::string& default_value,
+                const std::string& help, std::vector<std::string> allowed,
+                bool csv_list = false);
+
   /// Parses argv. Returns false (after printing usage) on `--help`, on an
   /// unknown/malformed flag, or on a value that fails the flag's type check.
   bool parse(int argc, const char* const* argv);
@@ -54,13 +63,16 @@ class flag_set {
   /// Type inferred from the declared default; `other` flags (strings, bools)
   /// are not validated at parse time. A numeric default (integer or float —
   /// integer-default flags are often read via f64()) requires numeric values.
-  enum class kind { numeric, other };
+  /// `enumerated` flags (declared with add_enum) accept only listed values.
+  enum class kind { numeric, enumerated, other };
 
   struct entry {
     std::string value;
     std::string default_value;
     std::string help;
     kind k = kind::other;
+    std::vector<std::string> allowed;  // enumerated only
+    bool csv_list = false;             // enumerated: value is a CSV of allowed
   };
 
   bool set_value(const std::string& name, const std::string& value);

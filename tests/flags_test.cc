@@ -166,5 +166,62 @@ TEST(flags, undeclared_lookup_throws) {
   EXPECT_THROW((void)flags.str("nope"), invariant_error);
 }
 
+TEST(flags, enum_flag_accepts_listed_values) {
+  flag_set flags;
+  flags.add_enum("sched", "heap", "event-queue policy", {"heap", "wheel"});
+  const char* argv[] = {"prog", "--sched=wheel"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_EQ(flags.str("sched"), "wheel");
+}
+
+TEST(flags, enum_flag_rejects_unlisted_value_at_parse_time) {
+  // The friendly-UX contract: a typo'd enum fails the parse (with a
+  // "expected one of ..." message on stderr), it does not fall through to a
+  // silently-wrong default.
+  flag_set flags;
+  flags.add_enum("sched", "heap", "event-queue policy", {"heap", "wheel"});
+  const char* argv[] = {"prog", "--sched=whele"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(flags, enum_flag_default_survives_when_not_set) {
+  flag_set flags;
+  flags.add_enum("sched", "heap", "event-queue policy", {"heap", "wheel"});
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.str("sched"), "heap");
+}
+
+TEST(flags, enum_csv_flag_validates_every_element) {
+  flag_set flags;
+  flags.add_enum("qdisc", "droptail", "queue discipline(s)",
+                 {"droptail", "ecn", "red", "codel", "all"},
+                 /*csv_list=*/true);
+  const char* ok[] = {"prog", "--qdisc=droptail,red,codel"};
+  ASSERT_TRUE(flags.parse(2, ok));
+  EXPECT_EQ(flags.str("qdisc"), "droptail,red,codel");
+
+  flag_set flags2;
+  flags2.add_enum("qdisc", "droptail", "queue discipline(s)",
+                  {"droptail", "ecn", "red", "codel", "all"},
+                  /*csv_list=*/true);
+  const char* bad[] = {"prog", "--qdisc=droptail,rde"};
+  EXPECT_FALSE(flags2.parse(2, bad));
+
+  flag_set flags3;
+  flags3.add_enum("qdisc", "droptail", "queue discipline(s)",
+                  {"droptail", "ecn", "red", "codel", "all"},
+                  /*csv_list=*/true);
+  const char* empty[] = {"prog", "--qdisc=droptail,,red"};
+  EXPECT_FALSE(flags3.parse(2, empty));  // empty elements are typos too
+}
+
+TEST(flags, enum_default_must_be_listed) {
+  flag_set flags;
+  EXPECT_THROW(flags.add_enum("sched", "hepa", "typo'd default",
+                              {"heap", "wheel"}),
+               invariant_error);
+}
+
 }  // namespace
 }  // namespace mcc::util

@@ -68,8 +68,8 @@ class hashing_sink : public agent {
 /// The scenario: two senders blast prng-shaped traffic (exponential gaps,
 /// mixed sizes, every other packet ECN-capable) at ~2x the bottleneck rate
 /// of a dumbbell whose bottleneck runs the given discipline.
-std::string run_digest(qdisc d) {
-  scheduler sched;
+std::string run_digest(qdisc d, scheduler_config sched_cfg = {}) {
+  scheduler sched(sched_cfg);
   network net(sched);
   const node_id ha = net.add_host("ha");
   const node_id hb = net.add_host("hb");
@@ -161,6 +161,29 @@ TEST_P(golden_trace, digest_is_reproducible_within_a_process) {
   EXPECT_EQ(run_digest(d), run_digest(d));
 }
 
+TEST_P(golden_trace, wheel_scheduler_matches_the_same_digest) {
+  // The timer-wheel policy's determinism contract: the SAME checked-in
+  // digest as the heap, bit for bit — not a separate wheel baseline.
+  const qdisc d = GetParam();
+  scheduler_config wheel;
+  wheel.policy = sched_policy::wheel;
+  EXPECT_EQ(run_digest(d, wheel), golden(d))
+      << "wheel scheduler diverged from the heap event order under "
+      << qdisc_name(d);
+}
+
+TEST_P(golden_trace, coarse_wheel_granularity_matches_the_same_digest) {
+  // Bucket width must not be observable: a 65536 ns bucket packs many
+  // distinct timestamps per bucket, and the due heap restores exact order.
+  const qdisc d = GetParam();
+  scheduler_config wheel;
+  wheel.policy = sched_policy::wheel;
+  wheel.wheel_granularity = 65536;
+  EXPECT_EQ(run_digest(d, wheel), golden(d))
+      << "wheel granularity leaked into the event order under "
+      << qdisc_name(d);
+}
+
 INSTANTIATE_TEST_SUITE_P(all_qdiscs, golden_trace,
                          ::testing::Values(qdisc::droptail,
                                            qdisc::ecn_threshold, qdisc::red,
@@ -178,8 +201,9 @@ INSTANTIATE_TEST_SUITE_P(all_qdiscs, golden_trace,
 // per-qdisc digests above.
 // ---------------------------------------------------------------------------
 
-std::string run_pulse_attack_digest() {
+std::string run_pulse_attack_digest(scheduler_config sched_cfg = {}) {
   exp::dumbbell_config cfg;
+  cfg.sched = sched_cfg;
   cfg.bottleneck_bps = 1e6;
   cfg.seed = 5;
   exp::testbed d(exp::dumbbell(cfg));
@@ -227,6 +251,15 @@ TEST(golden_trace_adversary, pulse_inflate_timeline_matches_checked_in_digest) {
 
 TEST(golden_trace_adversary, pulse_digest_is_reproducible_within_a_process) {
   EXPECT_EQ(run_pulse_attack_digest(), run_pulse_attack_digest());
+}
+
+TEST(golden_trace_adversary, pulse_digest_is_policy_invariant) {
+  // End-to-end through exp::testbed: the full FLID-DS attack timeline pins
+  // to the same digest under the timer wheel.
+  scheduler_config wheel;
+  wheel.policy = sched_policy::wheel;
+  EXPECT_EQ(run_pulse_attack_digest(wheel), "0xfd1bc9bde74fb696")
+      << "wheel scheduler diverged from the heap on the attack timeline";
 }
 
 // ---------------------------------------------------------------------------
