@@ -27,7 +27,10 @@
 // runs every cell with the section-4.2 countermeasure switched on; the
 // headline comparison is the collusion/tree cell, whose cross-edge key pool
 // goes from the matrix's worst containment time to pool_hits == 0 and a
-// strictly faster claw-back. Strategy timing parameters (pulse phases, flap
+// strictly faster claw-back. --probation-memory=both (also the default)
+// additionally runs every cell with the router probation memory on; the
+// headline comparison is the adaptive_churn cells, whose keyless grace
+// throughput collapses once rejoins inherit the probation debt. Strategy timing parameters (pulse phases, flap
 // period, adaptive probe) are flag-tunable; collusion always pools keys
 // best-effort (the pool IS its key source), the other key-backed strategies
 // follow --attack-keys.
@@ -69,11 +72,12 @@ struct cell {
   std::string topo;
   sim::qdisc queue;
   bool keying = false;  // interface-keying countermeasure on
+  int memory = 0;       // probation-memory window, slots (0 = off)
 };
 
 exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
                                 sim::qdisc queue, const sim::aqm_config& aqm_in,
-                                bool keying, site_plan& sites) {
+                                bool keying, int memory, site_plan& sites) {
   sim::aqm_config aqm = aqm_in;
   aqm.discipline = queue;
   if (topo == "dumbbell") {
@@ -83,6 +87,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.seed = seed;
     cfg.aqm = aqm;
     cfg.interface_keying = keying;
+    cfg.probation_memory_slots = memory;
     sites = {"r", "r", "r"};
     return exp::dumbbell(cfg);
   }
@@ -94,6 +99,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.seed = seed;
     cfg.aqm = aqm;
     cfg.interface_keying = keying;
+    cfg.probation_memory_slots = memory;
     // The attacker sits behind both bottlenecks; its colluding partner
     // behind only the first, so the partner's cleaner congestion state
     // feeds the key pool.
@@ -109,6 +115,7 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.seed = seed;
     cfg.aqm = aqm;
     cfg.interface_keying = keying;
+    cfg.probation_memory_slots = memory;
     // Attacker on a sibling leaf of the honest receiver: they share the
     // root->t1_0 edge (the contested link) and split below it. The second
     // colluder sits in the other subtree, where its cleaner congestion
@@ -144,6 +151,7 @@ int main(int argc, char** argv) {
   flags.add("flap-period", "1", "churn_flap: slots per phase");
   flags.add("seed", "7", "simulation seed");
   exp::add_interface_keying_flag(flags, "both");
+  exp::add_probation_memory_flag(flags, "both");
   exp::add_aqm_flags(flags);
   exp::add_sweep_flags(flags);
   exp::add_sched_flag(flags);
@@ -214,15 +222,26 @@ int main(int argc, char** argv) {
                  "running the axis off\n");
     keyings = {false};
   }
+  std::vector<int> memories = exp::probation_memory_axis_from_flags(flags);
+  if (mode == exp::flid_mode::dl &&
+      (memories.size() > 1 || memories.front() != 0)) {
+    // No SIGMA router in the plain world; the axis would duplicate cells.
+    std::fprintf(stderr,
+                 "note: --probation-memory has no effect under --mode=dl; "
+                 "running the axis off\n");
+    memories = {0};
+  }
 
   std::vector<cell> cells;
   for (const adversary::strategy_kind s : strategies) {
     for (const std::string& t : topos) {
       // Validate topology names up front (before worker threads).
       site_plan probe;
-      (void)make_config(t, 1, sim::qdisc::droptail, aqm_base, false, probe);
+      (void)make_config(t, 1, sim::qdisc::droptail, aqm_base, false, 0, probe);
       for (const sim::qdisc q : qdiscs) {
-        for (const bool k : keyings) cells.push_back({s, t, q, k});
+        for (const bool k : keyings) {
+          for (const int m : memories) cells.push_back({s, t, q, k, m});
+        }
       }
     }
   }
@@ -238,8 +257,8 @@ int main(int argc, char** argv) {
   const auto rows = exp::run_sweep(xs, opts, [&](const exp::sweep_point& pt) {
     const cell& c = cells[pt.index];
     site_plan sites;
-    exp::testbed d(
-        make_config(c.topo, pt.seed, c.queue, aqm_base, c.keying, sites));
+    exp::testbed d(make_config(c.topo, pt.seed, c.queue, aqm_base, c.keying,
+                               c.memory, sites));
 
     adversary::profile attack;
     switch (c.strategy) {
@@ -308,11 +327,12 @@ int main(int argc, char** argv) {
         &honest_session.receiver(0).monitor()};
 
     exp::sweep_row row;
-    // Keyed cells carry a "/keyed" suffix; unkeyed labels stay as before so
-    // cross-commit baseline diffs keep matching the historical rows.
+    // Keyed cells carry a "/keyed" suffix and probation-memory cells a
+    // "/mem" suffix; plain labels stay as before so cross-commit baseline
+    // diffs keep matching the historical rows.
     row.label = std::string(adversary::strategy_name(c.strategy)) + "/" +
                 c.topo + "/" + sim::qdisc_name(c.queue) +
-                (c.keying ? "/keyed" : "");
+                (c.keying ? "/keyed" : "") + (c.memory > 0 ? "/mem" : "");
     double attacker_sum = 0.0;
     double honest_sum = 0.0;
     for (const sim::throughput_monitor* m : honest_monitors) {
@@ -363,6 +383,14 @@ int main(int argc, char** argv) {
     row.value("ttc_s", contained ? ttc : -1.0);
     row.value("contained", contained ? 1.0 : 0.0);
     row.value("interface_keying", c.keying ? 1.0 : 0.0);
+    row.value("probation_memory", static_cast<double>(c.memory));
+    // Sustained late-window rate: everything after the attack's first grace
+    // windows and escalation rounds have played out. Under probation memory
+    // the churn strategies must collapse to ~0 here.
+    const sim::time_ns late_from =
+        attack_at + std::min(sim::seconds(20.0), (horizon - attack_at) / 2);
+    row.value("attacker_late_kbps",
+              rogue.receiver(0).monitor().average_kbps(late_from, horizon));
     row.value("profit_kbps_per_msg", profit);
     row.value("profit_kbps_per_kb", profit_kb);
     row.value("honest_kbps",
@@ -378,8 +406,12 @@ int main(int argc, char** argv) {
     row.value("edge_igmp_leaves",
               static_cast<double>(d.igmp(sites.attacker).stats().leaves));
     if (mode == exp::flid_mode::ds) {
-      row.value("edge_invalid_keys",
-                static_cast<double>(d.sigma(sites.attacker).stats().invalid_keys));
+      const auto& edge = d.sigma(sites.attacker).stats();
+      row.value("edge_invalid_keys", static_cast<double>(edge.invalid_keys));
+      row.value("edge_memory_refusals",
+                static_cast<double>(edge.memory_refusals));
+      row.value("edge_memory_inherits",
+                static_cast<double>(edge.memory_inherits));
     }
     if (colluding) {
       const auto& pool = d.coordinator(attack.coalition).stats();
@@ -489,6 +521,41 @@ int main(int argc, char** argv) {
                          "keyed collusion/tree contained strictly faster",
                          "all of them", static_cast<double>(faster),
                          "of " + std::to_string(tree_cells));
+      }
+    }
+    // The churn-countermeasure study: for every adaptive_churn cell run both
+    // with and without probation memory, the memory run must show the grace
+    // free-ride collapsing — no sustained keyless throughput once the first
+    // window's debt is remembered — and the strategy dropping down the
+    // profitability ranking.
+    if (memories.size() > 1) {
+      int churn_pairs = 0;
+      int collapsed = 0;
+      int less_profitable = 0;
+      for (const auto& row : rows) {
+        if (row.label.rfind("adaptive_churn/", 0) != 0) continue;
+        if (row.value_of("probation_memory") != 0.0) continue;
+        const exp::sweep_row* mem = nullptr;
+        for (const auto& other : rows) {
+          if (other.label == row.label + "/mem") mem = &other;
+        }
+        if (mem == nullptr) continue;
+        ++churn_pairs;
+        if (mem->value_of("attacker_late_kbps") < 10.0) ++collapsed;
+        if (mem->value_of("profit_kbps_per_kb") <
+            row.value_of("profit_kbps_per_kb")) {
+          ++less_profitable;
+        }
+      }
+      if (churn_pairs > 0) {
+        exp::print_check(std::cout,
+                         "churn cells under memory: late grace Kbps < 10",
+                         "all of them", static_cast<double>(collapsed),
+                         "of " + std::to_string(churn_pairs));
+        exp::print_check(std::cout,
+                         "churn cells strictly less profitable under memory",
+                         "all of them", static_cast<double>(less_profitable),
+                         "of " + std::to_string(churn_pairs));
       }
     }
   }

@@ -541,11 +541,19 @@ class adaptive_pulse_sigma_strategy : public core::misbehaving_sigma_strategy {
 /// adaptive_churn against SIGMA: a free-rider synchronized to the two-slot
 /// keyless grace of section 3.2.2. Cycle: session-join (grace: the minimal
 /// group flows for the first-packet slot plus key_lead_slots complete
-/// slots), consume exactly that window, then unsubscribe — which wipes the
-/// interface state at the router, including the pending probation — and
+/// slots), consume exactly that window, then unsubscribe — which used to wipe
+/// the interface state at the router, including the pending probation — and
 /// rejoin for a fresh window. The receiver never proves a single key yet
-/// keeps receiving; the only thing bounding it is the minimal group's rate
-/// and the dead slot between cycles.
+/// keeps receiving; against a memoryless router the only thing bounding it is
+/// the minimal group's rate and the dead slot between cycles.
+///
+/// Against router probation memory the wipe no longer clears the debt: a
+/// rejoin within the window gets no fresh grace, and repeated keyless
+/// rejoins buy geometrically escalating cutoffs. The strategy observes the
+/// closed window through slot_feedback — a session-join that produces no
+/// granted packets within a few slots — and falls back to waiting it out
+/// with exponential join backoff, so the arms race re-runs honestly instead
+/// of hammering refused joins.
 class adaptive_churn_sigma_strategy : public core::honest_sigma_strategy {
  public:
   explicit adaptive_churn_sigma_strategy(sim::time_ns start) : start_(start) {}
@@ -568,6 +576,8 @@ class adaptive_churn_sigma_strategy : public core::honest_sigma_strategy {
     }
     if (fb.granted > 0) {
       ++grace_slots_;
+      joined_ = false;
+      backoff_slots_ = 0;  // the join produced data: the window is open
       if (grace_slots_ > core::key_lead_slots) {
         // Grace spent: the next packet would be denied and convert the
         // probation into a >= one-slot block. Wipe the state instead.
@@ -577,19 +587,38 @@ class adaptive_churn_sigma_strategy : public core::honest_sigma_strategy {
     } else {
       ++stats_.cutoff_slots;
       grace_slots_ = 0;
-      // Dead slot between grace windows: request fresh keyless admission,
-      // rate-limited like the honest path.
-      if (fb.now - last_session_join_ >= cfg.slot_duration) {
+      if (joined_ && ++dead_slots_since_join_ >= unproductive_join_slots) {
+        // The join bought nothing for several slots: the router remembers the
+        // probation debt (window closed). Wait it out, doubling each time.
+        joined_ = false;
+        backoff_slots_ = std::min(std::max(1, backoff_slots_ * 2), 64);
+        wait_slots_ = backoff_slots_;
+      }
+      if (!joined_ && wait_slots_ > 0) {
+        --wait_slots_;
+      } else if (fb.now - last_session_join_ >= cfg.slot_duration) {
+        // Dead slot between grace windows: request fresh keyless admission,
+        // rate-limited like the honest path.
         send_session_join();
+        joined_ = true;
+        dead_slots_since_join_ = 0;
       }
     }
     return r.level();
   }
 
  private:
+  /// Dead slots after a join before the strategy concludes the window is
+  /// closed (an open window yields granted packets within a slot or two).
+  static constexpr int unproductive_join_slots = 3;
+
   sim::time_ns start_;
   bool attacking_ = false;
   int grace_slots_ = 0;
+  bool joined_ = false;            // a join is outstanding, outcome unknown
+  int dead_slots_since_join_ = 0;  // granted == 0 slots since that join
+  int backoff_slots_ = 0;          // doubles per unproductive join, cap 64
+  int wait_slots_ = 0;             // remaining enforced dead time
 };
 
 }  // namespace

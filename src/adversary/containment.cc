@@ -128,4 +128,16 @@ void attach_cost(containment_report& rep, const attacker_cost& cost) {
       std::max(1.0, static_cast<double>(cost.ctrl_bytes) / 1024.0);
 }
 
+double memory_block_rate(const core::sigma_router_agent::counters& edge) {
+  const std::uint64_t hits = edge.memory_refusals + edge.memory_inherits;
+  const std::uint64_t attempts = edge.session_joins + edge.memory_refusals;
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(attempts);
+}
+
+void attach_router_memory(containment_report& rep,
+                          const core::sigma_router_agent::counters& edge) {
+  rep.fp_block_rate = memory_block_rate(edge);
+}
+
 }  // namespace mcc::adversary

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/sigma_router.h"
 #include "flid/flid_receiver.h"
 #include "sim/stats.h"
 #include "sim/time.h"
@@ -96,6 +97,13 @@ struct containment_report {
   /// floods pay per pair and rank below sparse replays here even when their
   /// message counts match. Set by attach_cost.
   double profit_kbps_per_kb = 0.0;
+  /// False-positive price of router probation memory at this cell's edge:
+  /// the fraction of admission attempts that hit a remembered debt —
+  /// (memory_refusals + memory_inherits) / (session_joins + memory_refusals).
+  /// On an honest edge this is the honest leave/rejoin false-positive block
+  /// rate the ROADMAP insisted on pricing; 0 while the memory is off. Set by
+  /// attach_router_memory.
+  double fp_block_rate = 0.0;
 };
 
 /// Computes the report for one attacker against a set of honest monitors
@@ -128,6 +136,17 @@ struct containment_report {
 /// Folds a cost into a report and derives profit_kbps_per_msg and
 /// profit_kbps_per_kb.
 void attach_cost(containment_report& rep, const attacker_cost& cost);
+
+/// The probation-memory hit rate of one edge router's counters:
+/// (memory_refusals + memory_inherits) / (session_joins + memory_refusals),
+/// 0 when the edge saw no admission attempts (or the memory is off).
+[[nodiscard]] double memory_block_rate(
+    const core::sigma_router_agent::counters& edge);
+
+/// Folds an edge router's probation-memory counters into a report's
+/// fp_block_rate.
+void attach_router_memory(containment_report& rep,
+                          const core::sigma_router_agent::counters& edge);
 
 }  // namespace mcc::adversary
 

@@ -10,6 +10,10 @@ namespace mcc::core {
 namespace {
 /// Slots of key/shard history kept before garbage collection.
 constexpr std::int64_t history_slots = 8;
+/// Cap on the probation-memory cutoff escalation exponent: the k-th keyless
+/// rejoin is cut off for slot_duration << min(k, cap) — capped so a single
+/// interface cannot be locked out for more than 64 slots at a time.
+constexpr int max_block_escalation = 6;
 }  // namespace
 
 sigma_router_agent::sigma_router_agent(sim::network& net, sim::node_id router,
@@ -117,7 +121,7 @@ void sigma_router_agent::try_decode(int session_id, std::int64_t target_slot) {
         grant(session_id, sub.iface, sub.group_value, block->target_slot);
       } else {
         ++stats_.invalid_keys;
-        ++guess_tally_[sub.iface];
+        tally_guess(sub.iface, block->target_slot);
       }
     }
   }
@@ -181,7 +185,7 @@ void sigma_router_agent::on_subscribe(const sim::sigma_subscribe& msg,
       grant(msg.session_id, iface, group.value, msg.slot);
     } else {
       ++stats_.invalid_keys;
-      ++guess_tally_[iface];
+      tally_guess(iface, msg.slot);
     }
   }
   // Acknowledge receipt (paper: "the edge router acknowledges each
@@ -196,6 +200,23 @@ void sigma_router_agent::on_subscribe(const sim::sigma_subscribe& msg,
 void sigma_router_agent::grant(int, sim::link* iface, int group_value,
                                std::int64_t slot) {
   iface_group_state& st = ifaces_[iface][group_value];
+  if (probation_memory_slots_ > 0) {
+    const sim::time_ns now = net_.sched().now();
+    const probation_memory_record* debt = recall_debt(iface, group_value);
+    const bool live_block = st.blocked_until >= 0 && now < st.blocked_until;
+    const bool remembered_block = debt != nullptr && debt->blocked_until >= 0 &&
+                                  now < debt->blocked_until;
+    if (live_block || remembered_block) {
+      // Still serving a cutoff (live, or remembered across an unsubscribe):
+      // a valid key earns access only once the owed slots have actually been
+      // served — otherwise churning through grant would launder the debt.
+      ++stats_.blocked_grants;
+      return;
+    }
+    // A valid key pays all outstanding debt and resets the escalation ladder.
+    st.keyless_rejoins = 0;
+    forget_debt(iface, group_value);
+  }
   st.authorized_until = std::max(st.authorized_until, slot);
   st.probation = false;
   st.blocked_until = -1;  // a valid key re-proves eligibility
@@ -226,9 +247,68 @@ void sigma_router_agent::on_unsubscribe(const sim::sigma_unsubscribe& msg,
     if (by_iface == ifaces_.end()) continue;
     auto st = by_iface->second.find(g.value);
     if (st == by_iface->second.end()) continue;
+    // The adaptive_churn loophole lived here: erasing the state wiped the
+    // pending probation and blocked_until debt with it. Under probation
+    // memory the debt outlives the wipe.
+    if (probation_memory_slots_ > 0) {
+      remember_debt(iface, g.value, st->second, msg.session_id);
+    }
     ungraft(g.value, iface, st->second);
     by_iface->second.erase(st);
   }
+}
+
+void sigma_router_agent::remember_debt(sim::link* iface, int group_value,
+                                       const iface_group_state& st,
+                                       int session_id) {
+  const sim::time_ns now = net_.sched().now();
+  const bool blocked = st.blocked_until >= 0 && now < st.blocked_until;
+  // Debt = a grace window that has not ended in probation yet, an unserved
+  // cutoff, or an escalation ladder position a churner could otherwise
+  // launder by unsubscribing. A receiver that proved a key has none.
+  if (!st.probation && !blocked && st.keyless_rejoins == 0) return;
+  session_state& sess = sessions_[session_id];
+  if (sess.slot_duration == 0) {
+    if (const auto* ann = net_.find_session(session_id)) {
+      sess.slot_duration = ann->slot_duration;
+    }
+  }
+  if (sess.slot_duration == 0) return;  // unknown session: no window to index
+  probation_memory_record& rec = memory_[iface][group_value];
+  rec.blocked_until = blocked ? st.blocked_until : -1;
+  rec.keyless_rejoins = std::max(rec.keyless_rejoins, st.keyless_rejoins);
+  rec.expires_at = std::max(now, st.blocked_until) +
+                   probation_memory_slots_ * sess.slot_duration;
+  ++stats_.memory_records;
+}
+
+sigma_router_agent::probation_memory_record* sigma_router_agent::recall_debt(
+    sim::link* iface, int group_value) {
+  auto mi = memory_.find(iface);
+  if (mi == memory_.end()) return nullptr;
+  // Lazy GC: drop every expired record on this interface while we are here,
+  // so the table stays O(recently wiped debtor groups) per interface.
+  const sim::time_ns now = net_.sched().now();
+  for (auto it = mi->second.begin(); it != mi->second.end();) {
+    if (now >= it->second.expires_at) {
+      it = mi->second.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (mi->second.empty()) {
+    memory_.erase(mi);
+    return nullptr;
+  }
+  auto rec = mi->second.find(group_value);
+  return rec == mi->second.end() ? nullptr : &rec->second;
+}
+
+void sigma_router_agent::forget_debt(sim::link* iface, int group_value) {
+  auto mi = memory_.find(iface);
+  if (mi == memory_.end()) return;
+  mi->second.erase(group_value);
+  if (mi->second.empty()) memory_.erase(mi);
 }
 
 void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
@@ -250,6 +330,29 @@ void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
     ++stats_.session_joins_refused;
     return;
   }
+  bool inherited = false;
+  if (probation_memory_slots_ > 0) {
+    if (const probation_memory_record* debt = recall_debt(iface, minimal)) {
+      if (debt->blocked_until >= 0 && net_.sched().now() < debt->blocked_until) {
+        // The wiped state still owed an unserved cutoff: still-blocked means
+        // refused, unsubscribe or not.
+        ++stats_.session_joins_refused;
+        ++stats_.memory_refusals;
+        return;
+      }
+      // Within the memory window: the rejoin inherits the debt instead of
+      // starting over.
+      st.keyless_rejoins = std::max(st.keyless_rejoins, debt->keyless_rejoins);
+      forget_debt(iface, minimal);
+      ++stats_.memory_inherits;
+      inherited = true;
+    }
+    if (st.grafted && st.probation) {
+      // A keyless grace window is already open on this interface; repeated
+      // joins must not refresh awaiting_first_packet and extend it.
+      return;
+    }
+  }
   if (st.grafted && st.authorized_until > sess.max_seen_slot + 1) {
     return;  // already a member in good standing; nothing to do
   }
@@ -263,8 +366,15 @@ void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
     tree_.join(sim::group_addr{minimal}, iface);
     st.grafted = true;
   }
-  st.awaiting_first_packet = true;
   st.probation = true;
+  if (probation_memory_slots_ > 0 && (inherited || st.keyless_rejoins > 0)) {
+    // Keyless rejoin with outstanding debt: admitted on probation but with NO
+    // fresh grace — the first data packet converts straight into an escalated
+    // cutoff unless a valid key lands first.
+    st.awaiting_first_packet = false;
+    return;
+  }
+  st.awaiting_first_packet = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -323,8 +433,16 @@ bool sigma_router_agent::allow(sim::packet& p, sim::link* oif) {
   ++stats_.denied;
   if (st.probation) {
     // Keyless admission expired without a valid key: stop forwarding for at
-    // least one time slot (section 3.2.2) and prune the branch.
-    st.blocked_until = net_.sched().now() + sess.slot_duration;
+    // least one time slot (section 3.2.2) and prune the branch. Under
+    // probation memory the cutoff escalates geometrically with every keyless
+    // rejoin, so grace riding buys ever-shrinking duty cycles.
+    sim::time_ns cutoff = sess.slot_duration;
+    if (probation_memory_slots_ > 0) {
+      cutoff = sess.slot_duration
+               << std::min(st.keyless_rejoins, max_block_escalation);
+      ++st.keyless_rejoins;
+    }
+    st.blocked_until = net_.sched().now() + cutoff;
     st.probation = false;
     ++stats_.probation_blocks;
     ungraft(group.value, oif, st);
@@ -337,9 +455,23 @@ bool sigma_router_agent::allow(sim::packet& p, sim::link* oif) {
   return false;
 }
 
+void sigma_router_agent::tally_guess(sim::link* iface, std::int64_t slot) {
+  auto& by_slot = guess_tally_[iface];
+  ++by_slot[slot];
+  // Decay: buckets older than the retained window fall off as newer slots
+  // arrive, so the tally reflects recent guessing pressure, not run length.
+  const std::int64_t newest = by_slot.rbegin()->first;
+  while (by_slot.begin()->first < newest - history_slots) {
+    by_slot.erase(by_slot.begin());
+  }
+}
+
 std::uint64_t sigma_router_agent::guess_tally(sim::link* iface) const {
   auto it = guess_tally_.find(iface);
-  return it == guess_tally_.end() ? 0 : it->second;
+  if (it == guess_tally_.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto& [slot, count] : it->second) sum += count;
+  return sum;
 }
 
 }  // namespace mcc::core

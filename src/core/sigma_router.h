@@ -51,6 +51,16 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   /// receiver strategy to submit perturbed keys.
   void set_interface_keying(bool on) { interface_keying_ = on; }
   [[nodiscard]] bool interface_keying() const { return interface_keying_; }
+  /// Probation memory (countermeasure to adaptive_churn's grace riding):
+  /// remember a wiped interface×group's outstanding debt — pending probation,
+  /// active cutoff, keyless-rejoin count — for `slots` slots past the point
+  /// the debt would have been served. A session-join or subscribe within the
+  /// window inherits the debt: no fresh grace window, a still-active cutoff
+  /// refuses admission outright, and repeated keyless rejoins escalate the
+  /// cutoff length geometrically. 0 (default) disables the memory and keeps
+  /// the legacy wipe-on-unsubscribe behaviour bit-for-bit.
+  void set_probation_memory(int slots) { probation_memory_slots_ = slots; }
+  [[nodiscard]] int probation_memory() const { return probation_memory_slots_; }
 
   struct counters {
     std::uint64_t ctrl_shards = 0;
@@ -67,11 +77,18 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
     std::uint64_t probation_blocks = 0;
     std::uint64_t stale_prunes = 0;
     std::uint64_t pending_subscriptions = 0;
+    // Probation-memory counters (all zero while the memory is disabled).
+    std::uint64_t memory_records = 0;   // debts remembered at unsubscribe
+    std::uint64_t memory_inherits = 0;  // rejoins that inherited a debt
+    std::uint64_t memory_refusals = 0;  // joins refused on a remembered block
+    std::uint64_t blocked_grants = 0;   // valid keys refused mid-cutoff
   };
   [[nodiscard]] const counters& stats() const { return stats_; }
 
-  /// Distinct invalid keys submitted for a group on an interface this slot —
-  /// the guessing-attack tally of paper section 4.2.
+  /// Invalid keys submitted on an interface within the retained slot window
+  /// (the last `history_slots` slots) — the guessing-attack tally of paper
+  /// section 4.2. Windowed, unlike the cumulative `invalid_keys` counter, so
+  /// long churny runs do not accumulate stale penalty weight.
   [[nodiscard]] std::uint64_t guess_tally(sim::link* iface) const;
 
  private:
@@ -100,7 +117,20 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
     /// packets, so slot numbers would freeze; wall-clock keeps the ">= one
     /// time slot" cutoff of section 3.2.2 well-defined).
     sim::time_ns blocked_until = -1;
+    /// Probation cutoffs served without ever proving a key. Only maintained
+    /// under probation memory; drives the geometric cutoff escalation and is
+    /// reset by a valid key.
+    int keyless_rejoins = 0;
     bool grafted = false;
+  };
+
+  /// Outstanding debt of a wiped interface×group, retained for
+  /// `probation_memory_slots_` slots past the point it would have been
+  /// served.
+  struct probation_memory_record {
+    sim::time_ns blocked_until = -1;  // cutoff the wipe tried to skip
+    int keyless_rejoins = 0;          // escalation ladder position
+    sim::time_ns expires_at = 0;      // lazy-GC deadline
   };
 
   struct pending_subscription {
@@ -118,6 +148,16 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   void grant(int session_id, sim::link* iface, int group_value,
              std::int64_t slot);
   void ungraft(int group_value, sim::link* iface, iface_group_state& st);
+  /// Record the group's outstanding debt before the state is wiped (no-op
+  /// when there is none, or when probation memory is off).
+  void remember_debt(sim::link* iface, int group_value,
+                     const iface_group_state& st, int session_id);
+  /// Look up a remembered debt, lazily GCing expired records on the way.
+  [[nodiscard]] probation_memory_record* recall_debt(sim::link* iface,
+                                                     int group_value);
+  void forget_debt(sim::link* iface, int group_value);
+  /// Count an invalid key against the interface's windowed guessing tally.
+  void tally_guess(sim::link* iface, std::int64_t slot);
   [[nodiscard]] const key_tuple* tuple_for(int session_id, std::int64_t slot,
                                            int group_value) const;
   /// The one key comparison both validation paths (direct and
@@ -132,13 +172,17 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   mcast::igmp_agent& tree_;
   bool ecn_scrub_ = false;
   bool interface_keying_ = false;
+  int probation_memory_slots_ = 0;
   std::map<int, session_state> sessions_;
   std::map<sim::link*, std::map<int, iface_group_state>> ifaces_;
+  // Wiped interface×group debts awaiting inheritance or expiry.
+  std::map<sim::link*, std::map<int, probation_memory_record>> memory_;
   // (session, slot) -> subscriptions waiting for their tuple block.
   std::map<std::pair<int, std::int64_t>, std::vector<pending_subscription>>
       pending_;
-  // Guessing-attack tallies: distinct invalid keys per interface.
-  std::map<sim::link*, std::uint64_t> guess_tally_;
+  // Guessing-attack tallies: invalid keys per interface, bucketed by slot so
+  // stale buckets decay out of the window instead of accumulating forever.
+  std::map<sim::link*, std::map<std::int64_t, std::uint64_t>> guess_tally_;
   counters stats_;
 };
 

@@ -56,6 +56,7 @@ testbed::edge_agents& testbed::edge_for(const std::string& site) {
   // edge validates perturbed keys iff every receiver strategy submits them
   // (add_flid_session sets the matching strategy side).
   agents.sigma->set_interface_keying(cfg_.interface_keying);
+  agents.sigma->set_probation_memory(cfg_.probation_memory_slots);
   return edges_.emplace(site, std::move(agents)).first->second;
 }
 
@@ -350,6 +351,7 @@ testbed_config scenario(sim::topology_builder topo, std::string sender_site,
   out.base_rtt = cfg.base_rtt;
   out.access_aqm = cfg.access_aqm;
   out.interface_keying = cfg.interface_keying;
+  out.probation_memory_slots = cfg.probation_memory_slots;
   out.sched = cfg.sched;
   out.seed = cfg.seed;
   return out;
@@ -508,6 +510,36 @@ std::vector<bool> interface_keying_axis_from_flags(
   if (v == "both") return {false, true};
   std::fprintf(stderr,
                "bad value for --interface-keying: '%s' (expected off, on, or "
+               "both)\n",
+               v.c_str());
+  std::exit(1);
+}
+
+void add_probation_memory_flag(util::flag_set& flags, const char* def) {
+  flags.add_enum("probation-memory", def,
+                 "router probation memory (adaptive_churn countermeasure): "
+                 "both sweeps it as a grid axis",
+                 {"off", "on", "both"});
+  flags.add("probation-memory-slots", "8",
+            "probation-memory window length in slots when on");
+}
+
+std::vector<int> probation_memory_axis_from_flags(const util::flag_set& flags) {
+  const std::int64_t slots = flags.i64("probation-memory-slots");
+  if (slots < 1 || slots > 1 << 20) {
+    std::fprintf(stderr,
+                 "bad value for --probation-memory-slots: '%lld' (expected a "
+                 "slot count in [1, 2^20])\n",
+                 static_cast<long long>(slots));
+    std::exit(1);
+  }
+  const std::string v = flags.str("probation-memory");
+  const int on = static_cast<int>(slots);
+  if (v == "off") return {0};
+  if (v == "on") return {on};
+  if (v == "both") return {0, on};
+  std::fprintf(stderr,
+               "bad value for --probation-memory: '%s' (expected off, on, or "
                "both)\n",
                v.c_str());
   std::exit(1);

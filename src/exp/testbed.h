@@ -115,6 +115,12 @@ struct testbed_config {
   /// Closes the cross-edge key-sharing channel: colluders' pooled keys are
   /// useless at any other interface. No effect on plain (FLID-DL) sessions.
   bool interface_keying = false;
+  /// Router probation memory, the countermeasure to adaptive_churn's
+  /// grace-riding: every SIGMA edge agent remembers a wiped interface's
+  /// outstanding probation debt for this many slots, refuses still-blocked
+  /// rejoins, and escalates the cutoff on repeated keyless rejoins.
+  /// 0 (default) keeps the legacy wipe-on-unsubscribe behaviour.
+  int probation_memory_slots = 0;
   /// Event-queue policy of the testbed's scheduler (heap or timer wheel);
   /// both fire the exact same event order, so results are policy-invariant.
   sim::scheduler_config sched;
@@ -293,6 +299,8 @@ struct dumbbell_config {
   sim::aqm_config access_aqm;
   /// Interface keying (testbed_config::interface_keying).
   bool interface_keying = false;
+  /// Router probation memory (testbed_config::probation_memory_slots).
+  int probation_memory_slots = 0;
   /// Event-queue policy (testbed_config::sched).
   sim::scheduler_config sched;
 };
@@ -315,6 +323,7 @@ struct parking_lot_config {
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
   bool interface_keying = false;  // testbed_config::interface_keying
+  int probation_memory_slots = 0;  // testbed_config::probation_memory_slots
   sim::scheduler_config sched;    // testbed_config::sched
 };
 
@@ -334,6 +343,7 @@ struct star_config {
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
   bool interface_keying = false;  // testbed_config::interface_keying
+  int probation_memory_slots = 0;  // testbed_config::probation_memory_slots
   sim::scheduler_config sched;    // testbed_config::sched
 };
 
@@ -355,6 +365,7 @@ struct tree_config {
   sim::aqm_config aqm;         // backbone queue discipline
   sim::aqm_config access_aqm;  // access-link queue discipline (drop-tail)
   bool interface_keying = false;  // testbed_config::interface_keying
+  int probation_memory_slots = 0;  // testbed_config::probation_memory_slots
   sim::scheduler_config sched;    // testbed_config::sched
 };
 
@@ -406,6 +417,22 @@ void add_interface_keying_flag(util::flag_set& flags,
 /// order ({false}, {true}, or {false, true}). An unknown value prints a
 /// friendly message and exits(1) — bench-main glue, like the AQM flags.
 [[nodiscard]] std::vector<bool> interface_keying_axis_from_flags(
+    const util::flag_set& flags);
+
+/// Registers the shared probation-memory flags on a bench's flag set:
+///   --probation-memory V       off | on | both ("both" sweeps the
+///                              countermeasure as a grid axis)
+///   --probation-memory-slots N window length in slots when on (default 8)
+/// `def` is the bench's default (the matrix defaults to "both" so the
+/// churn-countermeasure study runs out of the box; scenario benches default
+/// off).
+void add_probation_memory_flag(util::flag_set& flags, const char* def = "off");
+
+/// Decodes the probation-memory flags into the axis of
+/// testbed_config::probation_memory_slots values to sweep, in off-first order
+/// ({0}, {N}, or {0, N}). Bad values print a friendly message and exit(1) —
+/// bench-main glue, like the AQM flags.
+[[nodiscard]] std::vector<int> probation_memory_axis_from_flags(
     const util::flag_set& flags);
 
 /// Registers the shared scheduler-policy flag on a bench's flag set:

@@ -37,24 +37,6 @@ aqm_decision droptail_aqm::on_arrival(const packet&, const aqm_queue_view&,
   return aqm_decision::pass;
 }
 
-// --- ecn_threshold ----------------------------------------------------------
-
-ecn_threshold_aqm::ecn_threshold_aqm(double threshold_fraction)
-    : fraction_(threshold_fraction) {
-  util::require(fraction_ >= 0.0 && fraction_ <= 1.0,
-                "ecn_threshold: fraction out of [0,1]");
-}
-
-aqm_decision ecn_threshold_aqm::on_arrival(const packet& p,
-                                           const aqm_queue_view& q, time_ns) {
-  if (p.ecn_capable &&
-      static_cast<double>(q.queued_bytes) >
-          fraction_ * static_cast<double>(q.capacity_bytes)) {
-    return aqm_decision::mark;
-  }
-  return aqm_decision::pass;
-}
-
 // --- RED --------------------------------------------------------------------
 
 red_aqm::red_aqm(const red_config& cfg, std::int64_t capacity_bytes,
@@ -72,8 +54,13 @@ red_aqm::red_aqm(const red_config& cfg, std::int64_t capacity_bytes,
       // the "typical" departure spacing of ns-2's m = idle / s estimate.
       mean_pkt_time_(std::max<time_ns>(1, transmission_time(500, link_bps))),
       rng_(seed) {
-  util::require(min_th_ > 0 && min_th_ < max_th_,
-                "red: need 0 < min_th < max_th");
+  threshold_mode_ = min_th_ == max_th_;
+  if (threshold_mode_) {
+    util::require(min_th_ >= 0, "red: need min_th >= 0");
+  } else {
+    util::require(min_th_ > 0 && min_th_ < max_th_,
+                  "red: need 0 < min_th < max_th");
+  }
   util::require(cfg_.max_prob > 0.0 && cfg_.max_prob <= 1.0,
                 "red: max_prob out of (0,1]");
   util::require(cfg_.weight > 0.0 && cfg_.weight <= 1.0,
@@ -109,6 +96,7 @@ void red_aqm::update_average(std::int64_t queued_bytes, time_ns now) {
 
 void red_aqm::on_overflow(const packet&, const aqm_queue_view& q,
                           time_ns now) {
+  if (threshold_mode_) return;  // no average to keep honest
   // A forced tail drop is still an arrival: the average keeps tracking the
   // (full) queue and the inter-drop count restarts, exactly as if RED itself
   // had dropped the packet.
@@ -118,6 +106,16 @@ void red_aqm::on_overflow(const packet&, const aqm_queue_view& q,
 
 aqm_decision red_aqm::on_arrival(const packet& p, const aqm_queue_view& q,
                                  time_ns now) {
+  if (threshold_mode_) {
+    // Lowered ecn_threshold: mark ECN-capable packets whenever the
+    // instantaneous queue is above the threshold; never drop, keep no
+    // average and draw no randomness (the legacy policy's exact behaviour,
+    // golden-digest pinned).
+    if (cfg_.ecn && p.ecn_capable && q.queued_bytes > min_th_) {
+      return aqm_decision::mark;
+    }
+    return aqm_decision::pass;
+  }
   update_average(q.queued_bytes, now);
 
   if (avg_ < static_cast<double>(min_th_)) {
@@ -219,8 +217,19 @@ std::unique_ptr<aqm_policy> make_aqm(const aqm_config& cfg, double link_bps,
   switch (cfg.discipline) {
     case qdisc::droptail:
       return std::make_unique<droptail_aqm>();
-    case qdisc::ecn_threshold:
-      return std::make_unique<ecn_threshold_aqm>(cfg.ecn_threshold_fraction);
+    case qdisc::ecn_threshold: {
+      util::require(
+          cfg.ecn_threshold_fraction >= 0.0 && cfg.ecn_threshold_fraction <= 1.0,
+          "ecn_threshold: fraction out of [0,1]");
+      // Lower to degenerate RED (min = max, weight 1): its threshold mode is
+      // bit-equivalent to the old standalone ecn_threshold policy.
+      red_config ecn;
+      ecn.min_fraction = cfg.ecn_threshold_fraction;
+      ecn.max_fraction = cfg.ecn_threshold_fraction;
+      ecn.weight = 1.0;
+      ecn.ecn = true;
+      return std::make_unique<red_aqm>(ecn, capacity_bytes, link_bps, cfg.seed);
+    }
     case qdisc::red:
       return std::make_unique<red_aqm>(cfg.red, capacity_bytes, link_bps,
                                        cfg.seed);

@@ -13,7 +13,11 @@
 //                      only drop source (the seed simulator's behaviour).
 //   * ecn_threshold  — drop-tail + mark ECN-capable packets above a fixed
 //                      occupancy fraction (the simplified queue the paper's
-//                      DELTA ECN variant runs against, section 3.1.2).
+//                      DELTA ECN variant runs against, section 3.1.2). Not a
+//                      separate class: make_aqm lowers it to degenerate RED
+//                      (min_th == max_th, weight 1), whose threshold mode is
+//                      bit-equivalent — pure instantaneous-queue marking, no
+//                      EWMA, no drops, no RNG draws.
 //   * red            — Random Early Detection (Floyd & Jacobson 1993, ns-2
 //                      flavour): EWMA average queue, min/max thresholds,
 //                      count-based drop probability, optional gentle mode.
@@ -142,18 +146,6 @@ class droptail_aqm final : public aqm_policy {
   [[nodiscard]] qdisc kind() const override { return qdisc::droptail; }
 };
 
-/// Drop-tail + threshold ECN marking (the paper's simplified RED stand-in).
-class ecn_threshold_aqm final : public aqm_policy {
- public:
-  explicit ecn_threshold_aqm(double threshold_fraction);
-  [[nodiscard]] aqm_decision on_arrival(const packet& p, const aqm_queue_view& q,
-                                        time_ns now) override;
-  [[nodiscard]] qdisc kind() const override { return qdisc::ecn_threshold; }
-
- private:
-  double fraction_;
-};
-
 /// Random Early Detection, ns-2 flavour.
 ///
 /// Average queue: avg <- (1-w)*avg + w*q on every arrival; across an idle
@@ -168,6 +160,12 @@ class ecn_threshold_aqm final : public aqm_policy {
 /// ramps linearly from max_p to 1 over [max_th, 2*max_th]; beyond that every
 /// packet drops. ECN-capable packets are marked instead of dropped in the
 /// probabilistic regions but still drop in the forced region.
+///
+/// Threshold mode: with min_th == max_th the policy degenerates to the
+/// paper's simplified ECN queue — mark ECN-capable packets whenever the
+/// instantaneous queue exceeds the threshold, never drop, keep no average
+/// and draw no randomness. kind() reports qdisc::ecn_threshold in that mode
+/// so factory round-trips are preserved.
 class red_aqm final : public aqm_policy {
  public:
   red_aqm(const red_config& cfg, std::int64_t capacity_bytes, double link_bps,
@@ -179,8 +177,12 @@ class red_aqm final : public aqm_policy {
                                         time_ns now) override;
   void on_overflow(const packet& p, const aqm_queue_view& q,
                    time_ns now) override;
-  [[nodiscard]] double smoothed_queue_bytes() const override { return avg_; }
-  [[nodiscard]] qdisc kind() const override { return qdisc::red; }
+  [[nodiscard]] double smoothed_queue_bytes() const override {
+    return threshold_mode_ ? -1.0 : avg_;
+  }
+  [[nodiscard]] qdisc kind() const override {
+    return threshold_mode_ ? qdisc::ecn_threshold : qdisc::red;
+  }
 
   [[nodiscard]] std::int64_t min_threshold_bytes() const { return min_th_; }
   [[nodiscard]] std::int64_t max_threshold_bytes() const { return max_th_; }
@@ -194,6 +196,8 @@ class red_aqm final : public aqm_policy {
   red_config cfg_;
   std::int64_t min_th_;
   std::int64_t max_th_;
+  /// min_th == max_th: pure threshold marking (the lowered ecn_threshold).
+  bool threshold_mode_ = false;
   double avg_ = 0.0;
   /// Packets admitted since the last drop/mark (reset below min_th).
   int count_ = 0;

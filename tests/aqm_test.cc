@@ -67,15 +67,40 @@ TEST(aqm, droptail_never_marks_or_drops) {
 }
 
 TEST(aqm, ecn_threshold_marks_capable_packets_above_threshold_only) {
-  ecn_threshold_aqm ecn(0.5);
+  // ecn_threshold is degenerate RED since the fold: make_aqm lowers it to
+  // min_th == max_th == half the capacity.
+  aqm_config cfg;
+  cfg.discipline = qdisc::ecn_threshold;
+  cfg.ecn_threshold_fraction = 0.5;
+  const auto ecn = make_aqm(cfg, 1e6, 25'000);
+  EXPECT_EQ(ecn->kind(), qdisc::ecn_threshold);
   const aqm_queue_view below{10'000, 25'000};
   const aqm_queue_view above{20'000, 25'000};
-  EXPECT_EQ(ecn.on_arrival(data_packet(1000, true), below, 0),
+  EXPECT_EQ(ecn->on_arrival(data_packet(1000, true), below, 0),
             aqm_decision::pass);
-  EXPECT_EQ(ecn.on_arrival(data_packet(1000, true), above, 0),
+  EXPECT_EQ(ecn->on_arrival(data_packet(1000, true), above, 0),
             aqm_decision::mark);
   // Non-capable packets pass untouched: threshold ECN never drops early.
-  EXPECT_EQ(ecn.on_arrival(data_packet(1000, false), above, 0),
+  EXPECT_EQ(ecn->on_arrival(data_packet(1000, false), above, 0),
+            aqm_decision::pass);
+  // The threshold sits exactly at the boundary: at-threshold passes.
+  const aqm_queue_view at{12'500, 25'000};
+  EXPECT_EQ(ecn->on_arrival(data_packet(1000, true), at, 0),
+            aqm_decision::pass);
+  const aqm_queue_view just_above{12'501, 25'000};
+  EXPECT_EQ(ecn->on_arrival(data_packet(1000, true), just_above, 0),
+            aqm_decision::mark);
+  // A threshold-mode policy built directly as RED with min == max behaves
+  // identically and reports the ecn_threshold kind.
+  red_config degenerate;
+  degenerate.min_bytes = 12'500;
+  degenerate.max_bytes = 12'500;
+  degenerate.weight = 1.0;
+  red_aqm direct(degenerate, 25'000, 1e6, 1);
+  EXPECT_EQ(direct.kind(), qdisc::ecn_threshold);
+  EXPECT_EQ(direct.on_arrival(data_packet(1000, true), just_above, 0),
+            aqm_decision::mark);
+  EXPECT_EQ(direct.on_arrival(data_packet(1000, true), at, 0),
             aqm_decision::pass);
 }
 
