@@ -12,6 +12,7 @@
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "util/flags.h"
 
@@ -52,9 +53,17 @@ int main(int argc, char** argv) {
   const bool keying = keying_axis.front();
   const auto opts = exp::sweep_options_from_flags(
       flags, static_cast<std::uint64_t>(flags.i64("seed")));
+  const bool tracing = exp::trace_requested(flags);
+  const bool profiling = exp::profile_requested(flags);
 
+  exp::sweep_profile prof;
   const auto rows = exp::run_sweep(
-      {1.0}, opts, [&](const exp::sweep_point& pt) {
+      {1.0}, opts,
+      [&](const exp::sweep_point& pt) {
+        // Install the point's trace sink before the world is built: engine
+        // components latch the sink at construction.
+        obs::trace_buffer tb;
+        obs::trace_scope scope(tracing ? &tb : nullptr);
         exp::dumbbell_config cfg;
         cfg.sched = g_sched;
         cfg.bottleneck_bps = 1e6;
@@ -92,8 +101,11 @@ int main(int argc, char** argv) {
         row.value("fairness", sim::jain_fairness_index(rates));
         row.value("invalid_keys",
                   static_cast<double>(d.sigma().stats().invalid_keys));
+        row.metrics = d.metrics().snapshot();
+        if (tracing) row.trace_blob = tb.serialize();
         return row;
-      });
+      },
+      profiling ? &prof : nullptr);
   const exp::sweep_row& row = rows.front();
 
   exp::print_series(std::cout, "Fig 7: F1 (misbehaving FLID-DS) Kbps vs s",
@@ -114,6 +126,8 @@ int main(int argc, char** argv) {
                    "high (allocation preserved)", row.value_of("fairness"), "");
   exp::print_check(std::cout, "invalid keys rejected by SIGMA", "> 0",
                    row.value_of("invalid_keys"), "");
-  exp::maybe_write_json(flags, "fig07_protection", rows);
+  exp::maybe_write_json(flags, "fig07_protection", rows,
+                        profiling ? &prof : nullptr);
+  exp::maybe_write_trace(flags, rows);
   return 0;
 }

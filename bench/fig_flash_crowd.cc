@@ -47,6 +47,7 @@
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 
 using namespace mcc;
@@ -250,9 +251,18 @@ int main(int argc, char** argv) {
 
   const sim::time_ns attack_at = sim::seconds(attack_at_s);
   const sim::time_ns horizon = sim::seconds(duration);
+  const bool tracing = exp::trace_requested(flags);
+  const bool profiling = exp::profile_requested(flags);
 
-  const auto rows = exp::run_sweep(xs, opts, [&](const exp::sweep_point& pt) {
+  exp::sweep_profile prof;
+  const auto rows = exp::run_sweep(
+      xs, opts,
+      [&](const exp::sweep_point& pt) {
     const cell& c = cells[pt.index];
+    // The sink must be installed before the testbed builds its world: links
+    // and agents latch the per-point trace buffer at construction.
+    obs::trace_buffer tb;
+    obs::trace_scope scope(tracing ? &tb : nullptr);
     site_plan sites;
     exp::testbed d(
         make_config(c.topo, pt.seed, c.queue, aqm_base, c.memory, sites));
@@ -376,8 +386,11 @@ int main(int argc, char** argv) {
 
     row.trace("member_kbps_series", agg.member_monitor().series_kbps());
     row.trace("delegate_kbps_series", pop.delegate->monitor().series_kbps());
+    row.metrics = d.metrics().snapshot();
+    if (tracing) row.trace_blob = tb.serialize();
     return row;
-  });
+  },
+      profiling ? &prof : nullptr);
 
   std::printf("# flash crowd (%s): topo/qdisc/pop/attack\n",
               mode_name.c_str());
@@ -446,6 +459,8 @@ int main(int argc, char** argv) {
                        "of " + std::to_string(memory_cells));
     }
   }
-  exp::maybe_write_json(flags, "fig_flash_crowd", rows);
+  exp::maybe_write_json(flags, "fig_flash_crowd", rows,
+                        profiling ? &prof : nullptr);
+  exp::maybe_write_trace(flags, rows);
   return 0;
 }

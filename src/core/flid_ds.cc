@@ -41,6 +41,9 @@ void honest_sigma_strategy::attach(flid::flid_receiver& r) {
   receiver_ = &r;
   delta_ = std::make_unique<delta_layered_receiver>(r.config().num_groups);
   net_->get(r.host())->add_agent(this);
+  if ((trace_ = obs::current_trace()) != nullptr) {
+    trace_track_ = trace_->track("recv:" + net_->get(r.host())->name());
+  }
 }
 
 void honest_sigma_strategy::session_start(flid::flid_receiver& r) {
@@ -148,6 +151,11 @@ slot_feedback honest_sigma_strategy::observe_slot(flid::flid_receiver& r,
   for (int g = 1; g <= r.config().num_groups; ++g) {
     if (s.groups[static_cast<std::size_t>(g)].received == 0) break;
     fb.granted = g;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(fb.now, obs::trace_event::slot_feedback, trace_track_,
+                   static_cast<std::uint64_t>(fb.claimed),
+                   static_cast<std::uint64_t>(fb.granted));
   }
   on_feedback(fb);
   return fb;

@@ -21,6 +21,7 @@
 #include "crypto/prng.h"
 #include "flid/flid_receiver.h"
 #include "flid/flid_sender.h"
+#include "obs/trace.h"
 
 namespace mcc::core {
 
@@ -129,6 +130,10 @@ class honest_sigma_strategy : public flid::subscription_strategy,
   std::uint64_t next_msg_id_ = 1;
   sim::time_ns last_session_join_ = -1;
   std::int64_t empty_slots_ = 0;
+  /// Event-trace sink + this receiver's track, captured in attach(); null
+  /// unless the world was built inside an obs::trace_scope.
+  obs::trace_buffer* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
 
   struct pending_msg {
     sim::packet pkt;

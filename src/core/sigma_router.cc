@@ -23,6 +23,19 @@ sigma_router_agent::sigma_router_agent(sim::network& net, sim::node_id router,
   r->add_agent(this);
   r->set_alert_interceptor(this);
   r->set_access_policy(this);
+  trace_ = obs::current_trace();
+}
+
+void sigma_router_agent::trace(obs::trace_event kind, sim::link* iface,
+                               std::uint64_t a, std::uint64_t b) {
+  if (trace_ == nullptr) return;
+  auto it = trace_tracks_.find(iface);
+  if (it == trace_tracks_.end()) {
+    const std::uint32_t id = trace_->track(
+        "sigma:" + net_.get(router_)->name() + ":" + iface->to()->name());
+    it = trace_tracks_.emplace(iface, id).first;
+  }
+  trace_->record(net_.sched().now(), kind, it->second, a, b);
 }
 
 bool sigma_router_agent::handle_packet(const sim::packet& p,
@@ -164,6 +177,8 @@ const key_tuple* sigma_router_agent::tuple_for(int session_id,
 void sigma_router_agent::on_subscribe(const sim::sigma_subscribe& msg,
                                       sim::link* iface, sim::node_id from) {
   ++stats_.subscribe_msgs;
+  trace(obs::trace_event::subscribe, iface,
+        static_cast<std::uint64_t>(msg.session_id), msg.pairs.size());
   session_state& sess = sessions_[msg.session_id];
   for (const auto& [group, key] : msg.pairs) {
     const crypto::group_key submitted = key;
@@ -217,6 +232,12 @@ void sigma_router_agent::grant(int, sim::link* iface, int group_value,
     st.keyless_rejoins = 0;
     forget_debt(iface, group_value);
   }
+  if (st.probation) {
+    // A valid key arrived inside the keyless grace window: the window closes
+    // cleanly (b=0) instead of expiring into a cutoff (b=1).
+    trace(obs::trace_event::grace_close, iface,
+          static_cast<std::uint64_t>(group_value), 0);
+  }
   st.authorized_until = std::max(st.authorized_until, slot);
   st.probation = false;
   st.blocked_until = -1;  // a valid key re-proves eligibility
@@ -242,6 +263,8 @@ void sigma_router_agent::ungraft(int group_value, sim::link* iface,
 void sigma_router_agent::on_unsubscribe(const sim::sigma_unsubscribe& msg,
                                         sim::link* iface) {
   ++stats_.unsubscribes;
+  trace(obs::trace_event::unsubscribe, iface,
+        static_cast<std::uint64_t>(msg.session_id), msg.groups.size());
   for (sim::group_addr g : msg.groups) {
     auto by_iface = ifaces_.find(iface);
     if (by_iface == ifaces_.end()) continue;
@@ -280,6 +303,9 @@ void sigma_router_agent::remember_debt(sim::link* iface, int group_value,
   rec.expires_at = std::max(now, st.blocked_until) +
                    probation_memory_slots_ * sess.slot_duration;
   ++stats_.memory_records;
+  trace(obs::trace_event::probation_record, iface,
+        static_cast<std::uint64_t>(group_value),
+        static_cast<std::uint64_t>(rec.keyless_rejoins));
 }
 
 sigma_router_agent::probation_memory_record* sigma_router_agent::recall_debt(
@@ -338,6 +364,9 @@ void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
         // refused, unsubscribe or not.
         ++stats_.session_joins_refused;
         ++stats_.memory_refusals;
+        trace(obs::trace_event::probation_refuse, iface,
+              static_cast<std::uint64_t>(minimal),
+              static_cast<std::uint64_t>(debt->blocked_until));
         return;
       }
       // Within the memory window: the rejoin inherits the debt instead of
@@ -345,6 +374,9 @@ void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
       st.keyless_rejoins = std::max(st.keyless_rejoins, debt->keyless_rejoins);
       forget_debt(iface, minimal);
       ++stats_.memory_inherits;
+      trace(obs::trace_event::probation_inherit, iface,
+            static_cast<std::uint64_t>(minimal),
+            static_cast<std::uint64_t>(st.keyless_rejoins));
       inherited = true;
     }
     if (st.grafted && st.probation) {
@@ -362,6 +394,8 @@ void sigma_router_agent::on_session_join(const sim::sigma_session_join& msg,
   // A receiver cannot ride repeated session-joins to uninterrupted keyless
   // access — each grace window ends in probation (section 3.2.2).
   ++stats_.session_joins;
+  trace(obs::trace_event::session_join, iface,
+        static_cast<std::uint64_t>(msg.session_id), inherited ? 1 : 0);
   if (!st.grafted) {
     tree_.join(sim::group_addr{minimal}, iface);
     st.grafted = true;
@@ -407,6 +441,9 @@ bool sigma_router_agent::allow(sim::packet& p, sim::link* oif) {
     // from the first complete slot become usable (Figure 2).
     st.awaiting_first_packet = false;
     st.grace_through_slot = slot + key_lead_slots;
+    trace(obs::trace_event::grace_open, oif,
+          static_cast<std::uint64_t>(group.value),
+          static_cast<std::uint64_t>(st.grace_through_slot));
   }
   if (st.blocked_until >= 0 && net_.sched().now() < st.blocked_until) {
     ++stats_.denied;
@@ -445,6 +482,11 @@ bool sigma_router_agent::allow(sim::packet& p, sim::link* oif) {
     st.blocked_until = net_.sched().now() + cutoff;
     st.probation = false;
     ++stats_.probation_blocks;
+    trace(obs::trace_event::grace_close, oif,
+          static_cast<std::uint64_t>(group.value), 1);
+    trace(obs::trace_event::cutoff, oif,
+          static_cast<std::uint64_t>(group.value),
+          static_cast<std::uint64_t>(st.blocked_until));
     ungraft(group.value, oif, st);
   } else if (slot > st.authorized_until + 1) {
     // Authorization stale by more than a full slot: the receiver is gone or

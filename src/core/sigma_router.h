@@ -28,6 +28,7 @@
 #include "core/sigma_wire.h"
 #include "crypto/rs_code.h"
 #include "mcast/igmp.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 
 namespace mcc::core {
@@ -158,6 +159,10 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   void forget_debt(sim::link* iface, int group_value);
   /// Count an invalid key against the interface's windowed guessing tally.
   void tally_guess(sim::link* iface, std::int64_t slot);
+  /// Trace-sink append for one enforcement milestone on an interface's
+  /// track ("sigma:<router>:<host>"); a dead branch when tracing is off.
+  void trace(obs::trace_event kind, sim::link* iface, std::uint64_t a = 0,
+             std::uint64_t b = 0);
   [[nodiscard]] const key_tuple* tuple_for(int session_id, std::int64_t slot,
                                            int group_value) const;
   /// The one key comparison both validation paths (direct and
@@ -184,6 +189,10 @@ class sigma_router_agent : public sim::agent, public sim::access_policy {
   // stale buckets decay out of the window instead of accumulating forever.
   std::map<sim::link*, std::map<std::int64_t, std::uint64_t>> guess_tally_;
   counters stats_;
+  /// Event-trace sink captured at construction; per-interface track ids are
+  /// interned lazily (interfaces appear as hosts attach).
+  obs::trace_buffer* trace_ = nullptr;
+  std::map<sim::link*, std::uint32_t> trace_tracks_;
 };
 
 }  // namespace mcc::core

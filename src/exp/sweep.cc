@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -23,6 +25,7 @@
 #endif
 
 #include "crypto/prng.h"
+#include "util/logging.h"
 #include "util/require.h"
 
 namespace mcc::exp {
@@ -42,15 +45,47 @@ void add_sweep_flags(util::flag_set& flags) {
             "fork worker processes with this many threads each (0 = run all "
             "jobs in-process)");
   flags.add("json", "", "also write machine-readable results to this file");
+  flags.add("trace", "",
+            "write the deterministic event trace to this file (convert with "
+            "tools/trace2perfetto.py)");
+  flags.add("profile", "false",
+            "add a wall-clock self-profiling block to the --json document");
+  flags.add("log-level", "",
+            "log threshold: debug|info|warn|error|off (default: MCC_LOG_LEVEL "
+            "env, else warn)");
 }
 
 sweep_options sweep_options_from_flags(const util::flag_set& flags,
                                        std::uint64_t base_seed) {
+  // Env fallback first, then the flag on top — an explicit --log-level wins.
+  if (const auto bad_env = util::apply_log_level_env()) {
+    std::fprintf(stderr, "bad MCC_LOG_LEVEL value '%s' (expected one of "
+                 "debug, info, warn, error, off)\n", bad_env->c_str());
+    std::exit(1);
+  }
+  const std::string level_name = flags.str("log-level");
+  if (!level_name.empty()) {
+    if (const auto level = util::log_level_from_name(level_name)) {
+      util::set_log_level(*level);
+    } else {
+      std::fprintf(stderr, "bad value for --log-level: '%s' (expected one of "
+                   "debug, info, warn, error, off)\n", level_name.c_str());
+      std::exit(1);
+    }
+  }
   sweep_options opts;
   opts.jobs = static_cast<int>(flags.i64("jobs"));
   opts.jobs_per_process = static_cast<int>(flags.i64("jobs-per-process"));
   opts.base_seed = base_seed;
   return opts;
+}
+
+bool trace_requested(const util::flag_set& flags) {
+  return !flags.str("trace").empty();
+}
+
+bool profile_requested(const util::flag_set& flags) {
+  return flags.boolean("profile");
 }
 
 double sweep_row::value_of(const std::string& name) const {
@@ -65,6 +100,13 @@ const series* sweep_row::trace_of(const std::string& name) const {
     if (n == name) return &s;
   }
   return nullptr;
+}
+
+double sweep_row::metric_of(const std::string& name) const {
+  for (const auto& [n, v] : metrics) {
+    if (n == name) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 series column(const std::vector<sweep_row>& rows, const std::string& name) {
@@ -82,11 +124,12 @@ namespace {
 void run_points(const std::vector<double>& xs, const sweep_options& opts,
                 const std::function<sweep_row(const sweep_point&)>& fn,
                 const std::vector<std::size_t>& indices, int threads,
-                std::vector<sweep_row>& rows) {
+                std::vector<sweep_row>& rows, sweep_profile* profile) {
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::mutex profile_mutex;
 
   auto worker = [&] {
     for (;;) {
@@ -100,7 +143,14 @@ void run_points(const std::vector<double>& xs, const sweep_options& opts,
       pt.x = xs[i];
       pt.seed = point_seed(opts.base_seed, i);
       try {
+        const auto t0 = std::chrono::steady_clock::now();
         sweep_row row = fn(pt);
+        if (profile != nullptr) {
+          const std::chrono::duration<double, std::milli> ms =
+              std::chrono::steady_clock::now() - t0;
+          const std::lock_guard<std::mutex> lock(profile_mutex);
+          profile->point_ms.observe(ms.count());
+        }
         if (std::isnan(row.x)) row.x = pt.x;
         rows[i] = std::move(row);
       } catch (...) {
@@ -174,6 +224,12 @@ void encode_row(std::vector<unsigned char>& buf, std::size_t index,
       encode_f64(buf, v);
     }
   }
+  encode_u64(buf, row.metrics.size());
+  for (const auto& [name, v] : row.metrics) {
+    encode_str(buf, name);
+    encode_f64(buf, v);
+  }
+  encode_str(buf, row.trace_blob);
 }
 
 void write_all(int fd, const unsigned char* data, std::size_t n) {
@@ -403,6 +459,14 @@ void run_sweep_forked(const std::vector<double>& xs, const sweep_options& opts,
           }
           row.traces.emplace_back(std::move(name), std::move(s));
         }
+        const std::uint64_t nmetrics = read_u64(fd);
+        row.metrics.reserve(nmetrics);
+        for (std::uint64_t m = 0; m < nmetrics; ++m) {
+          std::string name = read_str(fd);
+          const double value = read_f64(fd);
+          row.metrics.emplace_back(std::move(name), value);
+        }
+        row.trace_blob = read_str(fd);
         rows[index] = std::move(row);
       }
     } catch (const std::exception& e) {
@@ -458,20 +522,38 @@ void run_sweep_forked(const std::vector<double>& xs, const sweep_options& opts,
 
 std::vector<sweep_row> run_sweep(
     const std::vector<double>& xs, const sweep_options& opts,
-    const std::function<sweep_row(const sweep_point&)>& fn) {
+    const std::function<sweep_row(const sweep_point&)>& fn,
+    sweep_profile* profile) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<sweep_row> rows(xs.size());
   if (opts.jobs_per_process > 0 && !xs.empty()) {
 #ifdef __unix__
     run_sweep_forked(xs, opts, fn, rows);
-    return rows;
 #else
     throw std::runtime_error(
         "sweep: --jobs-per-process requires fork(); run with --jobs instead");
 #endif
+  } else {
+    std::vector<std::size_t> all(xs.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    run_points(xs, opts, fn, all, opts.jobs, rows, profile);
   }
-  std::vector<std::size_t> all(xs.size());
-  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  run_points(xs, opts, fn, all, opts.jobs, rows);
+  if (profile != nullptr) {
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - t0;
+    profile->wall_ms = wall.count();
+    profile->points = xs.size();
+    const double wall_s = profile->wall_ms / 1e3;
+    profile->points_per_sec =
+        wall_s > 0.0 ? static_cast<double>(profile->points) / wall_s : 0.0;
+    profile->events_executed = 0.0;
+    for (const sweep_row& row : rows) {
+      const double events = row.metric_of("sched.executed_events");
+      if (std::isfinite(events)) profile->events_executed += events;
+    }
+    profile->events_per_sec =
+        wall_s > 0.0 ? profile->events_executed / wall_s : 0.0;
+  }
   return rows;
 }
 
@@ -511,9 +593,14 @@ void json_number(std::ostream& os, double v) {
 }  // namespace
 
 void write_json(std::ostream& os, const std::string& bench,
-                const std::vector<sweep_row>& rows) {
+                const std::vector<sweep_row>& rows,
+                const sweep_profile* profile) {
   os << "{\n  \"bench\": ";
   json_escaped(os, bench);
+  // Explicit schema version so tools/bench_aggregate.py dispatches on it
+  // instead of sniffing keys. Version 2 = per-row "metrics" objects and the
+  // optional document "profile" block.
+  os << ",\n  \"schema_version\": 2";
   os << ",\n  \"rows\": [";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const sweep_row& row = rows[i];
@@ -530,7 +617,18 @@ void write_json(std::ostream& os, const std::string& bench,
       os << ": ";
       json_number(os, row.values[v].second);
     }
-    os << "}, \"traces\": {";
+    os << "}";
+    if (!row.metrics.empty()) {
+      os << ", \"metrics\": {";
+      for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+        if (m > 0) os << ", ";
+        json_escaped(os, row.metrics[m].first);
+        os << ": ";
+        json_number(os, row.metrics[m].second);
+      }
+      os << "}";
+    }
+    os << ", \"traces\": {";
     for (std::size_t t = 0; t < row.traces.size(); ++t) {
       if (t > 0) os << ", ";
       json_escaped(os, row.traces[t].first);
@@ -548,18 +646,81 @@ void write_json(std::ostream& os, const std::string& bench,
     }
     os << "}}";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  if (profile != nullptr) {
+    os << ",\n  \"profile\": {";
+    os << "\"wall_ms\": ";
+    json_number(os, profile->wall_ms);
+    os << ", \"points\": " << profile->points;
+    os << ", \"points_per_sec\": ";
+    json_number(os, profile->points_per_sec);
+    os << ", \"events_executed\": ";
+    json_number(os, profile->events_executed);
+    os << ", \"events_per_sec\": ";
+    json_number(os, profile->events_per_sec);
+    os << ", \"point_ms\": {\"count\": " << profile->point_ms.count();
+    os << ", \"sum\": ";
+    json_number(os, profile->point_ms.sum());
+    os << ", \"buckets\": [";
+    const auto& bounds = profile->point_ms.bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << profile->point_ms.bucket(i);
+    }
+    os << "]}}";
+  }
+  os << "\n}\n";
 }
 
 void maybe_write_json(const util::flag_set& flags, const std::string& bench,
                       const std::vector<sweep_row>& rows) {
+  maybe_write_json(flags, bench, rows, nullptr);
+}
+
+void maybe_write_json(const util::flag_set& flags, const std::string& bench,
+                      const std::vector<sweep_row>& rows,
+                      const sweep_profile* profile) {
   const std::string path = flags.str("json");
   if (path.empty()) return;
   std::ofstream out(path);
   util::require(out.good(), "sweep: cannot open --json file", path);
-  write_json(out, bench, rows);
+  write_json(out, bench, rows, profile);
   out.flush();
   util::require(out.good(), "sweep: write to --json file failed", path);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+void maybe_write_trace(const util::flag_set& flags,
+                       const std::vector<sweep_row>& rows) {
+  const std::string path = flags.str("trace");
+  if (path.empty()) return;
+  // Container layout (docs/observability.md): "MCCT" magic, u32 version,
+  // u32 segment count, then per traced row: u32 row index + u64 blob size +
+  // the row's serialized trace_buffer segment. Rows are visited in grid
+  // order, so the file is byte-identical across --jobs settings.
+  std::ofstream out(path, std::ios::binary);
+  util::require(out.good(), "sweep: cannot open --trace file", path);
+  std::uint32_t segments = 0;
+  for (const sweep_row& row : rows) {
+    if (!row.trace_blob.empty()) ++segments;
+  }
+  const auto put_u32 = [&out](std::uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  out.write("MCCT", 4);
+  put_u32(1);  // container version
+  put_u32(segments);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const sweep_row& row = rows[i];
+    if (row.trace_blob.empty()) continue;
+    put_u32(static_cast<std::uint32_t>(i));
+    const std::uint64_t size = row.trace_blob.size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof size);
+    out.write(row.trace_blob.data(),
+              static_cast<std::streamsize>(row.trace_blob.size()));
+  }
+  out.flush();
+  util::require(out.good(), "sweep: write to --trace file failed", path);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "exp/report.h"
+#include "obs/metrics.h"
 #include "util/flags.h"
 
 namespace mcc::exp {
@@ -57,11 +58,29 @@ struct sweep_options {
 ///   --jobs N              worker threads for the parameter grid
 ///   --jobs-per-process N  fork workers, N threads each (0 = in-process)
 ///   --json PATH           also write machine-readable results to PATH
+///   --trace PATH          write the deterministic event trace to PATH
+///                         (convert with tools/trace2perfetto.py)
+///   --profile BOOL        add a wall-clock self-profiling block to --json
+///                         (off by default: wall clock is environment noise,
+///                         and CI cmp's BENCH files byte-for-byte)
+///   --log-level L         debug|info|warn|error|off; empty (the default)
+///                         falls back to MCC_LOG_LEVEL, else keeps "warn"
 void add_sweep_flags(util::flag_set& flags);
 
 /// Reads the standard flags back; `base_seed` is the bench's own seed flag.
+/// Also applies --log-level (flag wins over the MCC_LOG_LEVEL env fallback)
+/// to util::set_log_level; a bad level name prints a friendly message and
+/// exits(1), like any other bad flag value (bench-main glue).
 [[nodiscard]] sweep_options sweep_options_from_flags(
     const util::flag_set& flags, std::uint64_t base_seed);
+
+/// True when the bench was asked to record an event trace. Wired benches
+/// install an obs::trace_scope around each grid point and store the
+/// serialized buffer in sweep_row::trace_blob.
+[[nodiscard]] bool trace_requested(const util::flag_set& flags);
+
+/// True when --profile was set.
+[[nodiscard]] bool profile_requested(const util::flag_set& flags);
 
 /// One grid point's reported results: named scalar values plus named series.
 struct sweep_row {
@@ -72,6 +91,14 @@ struct sweep_row {
   std::string label;  // optional human-readable point name
   std::vector<std::pair<std::string, double>> values;
   std::vector<std::pair<std::string, series>> traces;
+  /// Engine-metrics snapshot of the point's world (obs::registry::snapshot),
+  /// serialized as the row's "metrics" object under schema_version 2.
+  /// Deterministic — identical across --jobs / --jobs-per-process.
+  obs::metric_snapshot metrics;
+  /// Serialized obs::trace_buffer segment ("" = tracing off). Travels over
+  /// the forked-worker pipe like every other field and is merged in row
+  /// order by maybe_write_trace, so the trace file is jobs-invariant too.
+  std::string trace_blob;
 
   sweep_row& value(std::string name, double v) {
     values.emplace_back(std::move(name), v);
@@ -85,29 +112,68 @@ struct sweep_row {
   [[nodiscard]] double value_of(const std::string& name) const;
   /// Series lookup; nullptr when absent.
   [[nodiscard]] const series* trace_of(const std::string& name) const;
+  /// Metric lookup by flattened name; NaN when absent.
+  [[nodiscard]] double metric_of(const std::string& name) const;
 };
 
 /// Extracts the (x, named value) series across rows, for print_columns.
 [[nodiscard]] series column(const std::vector<sweep_row>& rows,
                             const std::string& name);
 
+/// Wall-clock self-profiling of one sweep run (the "engine events/sec per
+/// phase" side of observability). Everything here is measured from the host
+/// clock, so it is nondeterministic by design and only ever emitted under
+/// --profile — the default BENCH output stays byte-identical run to run.
+struct sweep_profile {
+  double wall_ms = 0.0;          // whole-grid wall clock
+  std::size_t points = 0;        // grid points run
+  double points_per_sec = 0.0;   // points / wall seconds
+  /// Sum of the rows' "sched.executed_events" metric (0 when no row
+  /// snapshots it) and the derived whole-run event throughput.
+  double events_executed = 0.0;
+  double events_per_sec = 0.0;
+  /// Per-point wall time, milliseconds. Only in-process points observe into
+  /// it: forked --jobs-per-process workers keep their clocks to themselves
+  /// (per-point timings would have to cross the pipe as nondeterministic
+  /// payload), so under forking the histogram stays empty.
+  obs::histogram point_ms{
+      {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0}};
+};
+
 /// Runs `fn` once per grid point on opts.jobs worker threads. Results return
 /// in grid order; a row whose x was left unset inherits the point's x. The
 /// first exception thrown by any point is rethrown after the workers join;
-/// points not yet started when a point fails are abandoned.
+/// points not yet started when a point fails are abandoned. A non-null
+/// `profile` collects wall-clock self-profiling for the run (rows are
+/// unaffected — determinism contracts hold with or without it).
 std::vector<sweep_row> run_sweep(
     const std::vector<double>& xs, const sweep_options& opts,
-    const std::function<sweep_row(const sweep_point&)>& fn);
+    const std::function<sweep_row(const sweep_point&)>& fn,
+    sweep_profile* profile = nullptr);
 
-/// Writes rows as a machine-readable JSON document ("BENCH_<name>.json").
+/// Writes rows as a machine-readable JSON document ("BENCH_<name>.json"),
+/// schema_version 2: per-row "metrics" objects plus an optional document
+/// "profile" block (see docs/observability.md).
 void write_json(std::ostream& os, const std::string& bench,
-                const std::vector<sweep_row>& rows);
+                const std::vector<sweep_row>& rows,
+                const sweep_profile* profile = nullptr);
 
 /// Honors a bench's --json flag: empty value = no-op, otherwise writes the
 /// JSON document to the named file (stderr note on success, throws on I/O
-/// failure).
+/// failure). The overload with a profile emits the "profile" block when the
+/// pointer is non-null.
 void maybe_write_json(const util::flag_set& flags, const std::string& bench,
                       const std::vector<sweep_row>& rows);
+void maybe_write_json(const util::flag_set& flags, const std::string& bench,
+                      const std::vector<sweep_row>& rows,
+                      const sweep_profile* profile);
+
+/// Honors a bench's --trace flag: empty value = no-op, otherwise writes the
+/// rows' trace blobs to the named file in row order ("MCCT" container; see
+/// docs/observability.md), byte-identical across --jobs and
+/// --jobs-per-process. Rows without a blob are skipped.
+void maybe_write_trace(const util::flag_set& flags,
+                       const std::vector<sweep_row>& rows);
 
 }  // namespace mcc::exp
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "adversary/containment.h"
 #include "crypto/prng.h"
 
 namespace mcc::exp {
@@ -34,6 +35,7 @@ testbed::testbed(testbed_config cfg)
   util::require(!topo_.routers().empty(), "testbed: topology has no routers");
   if (cfg_.sender_site.empty()) cfg_.sender_site = topo_.routers().front();
   if (cfg_.receiver_site.empty()) cfg_.receiver_site = topo_.routers().back();
+  register_scheduler_metrics();
 }
 
 std::uint64_t testbed::next_seed() { return crypto::splitmix64(seed_state_); }
@@ -57,7 +59,9 @@ testbed::edge_agents& testbed::edge_for(const std::string& site) {
   // (add_flid_session sets the matching strategy side).
   agents.sigma->set_interface_keying(cfg_.interface_keying);
   agents.sigma->set_probation_memory(cfg_.probation_memory_slots);
-  return edges_.emplace(site, std::move(agents)).first->second;
+  edge_agents& placed = edges_.emplace(site, std::move(agents)).first->second;
+  register_edge_metrics(site, placed);
+  return placed;
 }
 
 testbed::edge_agents& testbed::existing_edge_or_new(const std::string& name) {
@@ -206,10 +210,31 @@ flid_session& testbed::add_flid_session(
     const sim::node_id rh = attach_host(
         "mc_rcv_" + std::to_string(sid) + "_" + std::to_string(ridx++), site,
         cfg_.access_bps, opt.access_delay.value_or(cfg_.access_delay));
+    const adversary::profile prof = opt.effective_profile();
     auto receiver = std::make_unique<flid::flid_receiver>(
         net_, rh, topo_.node(site), cfg,
-        adversary::make_strategy(proto, opt.effective_profile(), actx));
+        adversary::make_strategy(proto, prof, actx));
     receiver->start(opt.start_time);
+    if (prof.attacks()) {
+      // Attacker-spend views (adversary::measure_cost reads the receiver's
+      // live counters at snapshot time). Honest receivers register nothing:
+      // their cost is all zeros and would only bloat the snapshots.
+      const flid::flid_receiver* rp = receiver.get();
+      const obs::label_list labels{{"session", std::to_string(sid)},
+                                   {"receiver", net_.get(rh)->name()}};
+      metrics_.add_view("attacker.ctrl_msgs", labels, [rp] {
+        return static_cast<double>(adversary::measure_cost(*rp).ctrl_msgs);
+      });
+      metrics_.add_view("attacker.ctrl_bytes", labels, [rp] {
+        return static_cast<double>(adversary::measure_cost(*rp).ctrl_bytes);
+      });
+      metrics_.add_view("attacker.useless_keys", labels, [rp] {
+        return static_cast<double>(adversary::measure_cost(*rp).useless_keys);
+      });
+      metrics_.add_view("attacker.cutoff_slots", labels, [rp] {
+        return static_cast<double>(adversary::measure_cost(*rp).cutoff_slots);
+      });
+    }
     session->receivers.push_back(std::move(receiver));
   }
 
@@ -247,6 +272,22 @@ flid_population& testbed::add_population(flid_session& session,
       population::make_aggregate_strategy(proto, *pop->aggregate,
                                           cfg_.interface_keying));
   pop->delegate->start(opts.start_time);
+  const population::edge_aggregate* agg = pop->aggregate.get();
+  const obs::label_list labels{{"session", std::to_string(sid)},
+                               {"edge", site},
+                               {"index", std::to_string(pidx)}};
+  metrics_.add_view("population.state_bytes", labels, [agg] {
+    return static_cast<double>(agg->state_bytes());
+  });
+  metrics_.add_view("population.peak_members", labels, [agg] {
+    return static_cast<double>(agg->stats().peak_members);
+  });
+  metrics_.add_view("population.arrivals", labels, [agg] {
+    return static_cast<double>(agg->stats().arrivals);
+  });
+  metrics_.add_view("population.departures", labels, [agg] {
+    return static_cast<double>(agg->stats().departures);
+  });
   session.populations.push_back(std::move(pop));
   return *session.populations.back();
 }
@@ -307,6 +348,114 @@ void testbed::finalize() {
   if (finalized_) return;
   finalized_ = true;
   net_.finalize_routing();
+  // All links exist by now (hosts cannot attach after the run starts), so
+  // this is the one place that sees the complete link set.
+  register_link_metrics();
+}
+
+void testbed::register_scheduler_metrics() {
+  const sim::scheduler* s = &sched_;
+  metrics_.add_view("sched.executed_events", {}, [s] {
+    return static_cast<double>(s->executed_events());
+  });
+  metrics_.add_view("sched.pending_events", {}, [s] {
+    return static_cast<double>(s->pending_events());
+  });
+  metrics_.add_view("sched.max_pending_events", {}, [s] {
+    return static_cast<double>(s->max_pending_events());
+  });
+  metrics_.add_view("sched.slots_high_water", {}, [s] {
+    return static_cast<double>(s->slots_high_water());
+  });
+  if (cfg_.sched.policy == sim::sched_policy::wheel) {
+    const std::size_t levels = sched_.profile_now().wheel_occupied.size();
+    for (std::size_t l = 0; l < levels; ++l) {
+      metrics_.add_view("sched.wheel_occupied",
+                        {{"level", std::to_string(l)}}, [s, l] {
+                          return static_cast<double>(
+                              s->profile_now().wheel_occupied[l]);
+                        });
+    }
+    metrics_.add_view("sched.wheel_far_entries", {}, [s] {
+      return static_cast<double>(s->profile_now().far_entries);
+    });
+  }
+}
+
+void testbed::register_edge_metrics(const std::string& site,
+                                    edge_agents& agents) {
+  const obs::label_list labels{{"router", site}};
+  const mcast::igmp_agent* ig = agents.igmp.get();
+  metrics_.add_view("igmp.joins", labels, [ig] {
+    return static_cast<double>(ig->stats().joins);
+  });
+  metrics_.add_view("igmp.leaves", labels, [ig] {
+    return static_cast<double>(ig->stats().leaves);
+  });
+  metrics_.add_view("igmp.refused_protected", labels, [ig] {
+    return static_cast<double>(ig->stats().refused_protected);
+  });
+  // The full SIGMA counter block as thin views: the struct stays the router's
+  // API (tests and benches keep reading sigma().stats()), the registry only
+  // reads through at snapshot time.
+  const core::sigma_router_agent* sg = agents.sigma.get();
+  using sigma_counters = core::sigma_router_agent::counters;
+  const auto add_sigma = [&](const char* name,
+                             std::uint64_t sigma_counters::*field) {
+    metrics_.add_view(std::string("sigma.") + name, labels, [sg, field] {
+      return static_cast<double>(sg->stats().*field);
+    });
+  };
+  add_sigma("ctrl_shards", &sigma_counters::ctrl_shards);
+  add_sigma("blocks_decoded", &sigma_counters::blocks_decoded);
+  add_sigma("subscribe_msgs", &sigma_counters::subscribe_msgs);
+  add_sigma("valid_keys", &sigma_counters::valid_keys);
+  add_sigma("invalid_keys", &sigma_counters::invalid_keys);
+  add_sigma("session_joins", &sigma_counters::session_joins);
+  add_sigma("session_joins_refused", &sigma_counters::session_joins_refused);
+  add_sigma("unsubscribes", &sigma_counters::unsubscribes);
+  add_sigma("grace_forwards", &sigma_counters::grace_forwards);
+  add_sigma("authorized_forwards", &sigma_counters::authorized_forwards);
+  add_sigma("denied", &sigma_counters::denied);
+  add_sigma("probation_blocks", &sigma_counters::probation_blocks);
+  add_sigma("stale_prunes", &sigma_counters::stale_prunes);
+  add_sigma("pending_subscriptions", &sigma_counters::pending_subscriptions);
+  add_sigma("memory_records", &sigma_counters::memory_records);
+  add_sigma("memory_inherits", &sigma_counters::memory_inherits);
+  add_sigma("memory_refusals", &sigma_counters::memory_refusals);
+  add_sigma("blocked_grants", &sigma_counters::blocked_grants);
+}
+
+void testbed::register_link_metrics() {
+  for (const auto& owned : net_.links()) {
+    const sim::link* l = owned.get();
+    const obs::label_list labels{{"from", l->from()->name()},
+                                 {"to", l->to()->name()}};
+    metrics_.add_view("link.enqueued", labels, [l] {
+      return static_cast<double>(l->stats().enqueued);
+    });
+    metrics_.add_view("link.dropped", labels, [l] {
+      return static_cast<double>(l->stats().dropped);
+    });
+    metrics_.add_view("link.aqm_dropped", labels, [l] {
+      return static_cast<double>(l->stats().aqm_dropped);
+    });
+    metrics_.add_view("link.delivered", labels, [l] {
+      return static_cast<double>(l->stats().delivered);
+    });
+    metrics_.add_view("link.ecn_marked", labels, [l] {
+      return static_cast<double>(l->stats().ecn_marked);
+    });
+    metrics_.add_view("link.bytes_delivered", labels, [l] {
+      return static_cast<double>(l->stats().bytes_delivered);
+    });
+    metrics_.add_view("link.bytes_dropped", labels, [l] {
+      return static_cast<double>(l->stats().bytes_dropped);
+    });
+    metrics_.add_view("link.max_queued_bytes", labels, [l] {
+      return static_cast<double>(l->stats().max_queued_bytes);
+    });
+  }
 }
 
 void testbed::run_until(sim::time_ns until) {

@@ -26,6 +26,7 @@
 
 #include "adversary/adversary.h"
 #include "core/flid_ds.h"
+#include "obs/metrics.h"
 #include "core/sigma_router.h"
 #include "flid/flid_receiver.h"
 #include "flid/flid_sender.h"
@@ -239,6 +240,16 @@ class testbed {
 
   [[nodiscard]] int next_session_id() const { return next_session_id_; }
 
+  /// Engine-metrics registry of this testbed's world. Every component the
+  /// testbed builds registers pull-based views here (scheduler throughput and
+  /// occupancy at construction; SIGMA/IGMP control-plane counters per edge;
+  /// population state bytes; attacker cost per attacking receiver; per-link
+  /// traffic stats at finalize). Benches snapshot it after run_until into
+  /// sweep_row::metrics; the snapshot order is registration order, so it is
+  /// deterministic and jobs-invariant. See docs/observability.md.
+  [[nodiscard]] obs::registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::registry& metrics() const { return metrics_; }
+
  private:
   struct edge_agents {
     std::unique_ptr<mcast::igmp_agent> igmp;
@@ -260,6 +271,13 @@ class testbed {
   }
   void finalize();
 
+  /// Registers the per-component views of a freshly created edge / session /
+  /// population on metrics_ (implementation helpers of the public metrics()
+  /// contract above).
+  void register_scheduler_metrics();
+  void register_edge_metrics(const std::string& site, edge_agents& agents);
+  void register_link_metrics();
+
   testbed_config cfg_;
   sim::scheduler sched_;
   sim::network net_;
@@ -275,6 +293,9 @@ class testbed {
   int next_flow_id_ = 1;
   std::uint64_t seed_state_;
   bool finalized_ = false;
+  /// Declared last (destroyed first): its views capture raw pointers into the
+  /// members above, so the registry must never outlive them.
+  obs::registry metrics_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,113 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "util/require.h"
+
+namespace mcc::obs {
+
+histogram::histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  util::require(!bounds_.empty(), "histogram: needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    util::require(bounds_[i - 1] < bounds_[i],
+                  "histogram: bounds must be strictly increasing");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);  // + overflow
+}
+
+void histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+counter& registry::add_counter(std::string name, label_list labels) {
+  counters_.emplace_back();
+  entry e;
+  e.flat = flatten(name, labels);
+  e.c = &counters_.back();
+  entries_.push_back(std::move(e));
+  return counters_.back();
+}
+
+gauge& registry::add_gauge(std::string name, label_list labels) {
+  gauges_.emplace_back();
+  entry e;
+  e.flat = flatten(name, labels);
+  e.g = &gauges_.back();
+  entries_.push_back(std::move(e));
+  return gauges_.back();
+}
+
+histogram& registry::add_histogram(std::string name, std::vector<double> bounds,
+                                   label_list labels) {
+  histograms_.emplace_back(std::move(bounds));
+  entry e;
+  e.flat = flatten(name, labels);
+  e.h = &histograms_.back();
+  entries_.push_back(std::move(e));
+  return histograms_.back();
+}
+
+void registry::add_view(std::string name, label_list labels,
+                        std::function<double()> read) {
+  util::require(static_cast<bool>(read), "registry: view needs a reader");
+  entry e;
+  e.flat = flatten(name, labels);
+  e.view = std::move(read);
+  entries_.push_back(std::move(e));
+}
+
+std::string registry::flatten(const std::string& name,
+                              const label_list& labels) {
+  if (labels.empty()) return name;
+  std::string flat = name;
+  flat += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) flat += ',';
+    flat += labels[i].first;
+    flat += '=';
+    flat += labels[i].second;
+  }
+  flat += '}';
+  return flat;
+}
+
+namespace {
+
+std::string bound_suffix(double bound) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", bound);
+  return buf;
+}
+
+}  // namespace
+
+metric_snapshot registry::snapshot() const {
+  metric_snapshot out;
+  out.reserve(entries_.size());
+  for (const entry& e : entries_) {
+    if (e.c != nullptr) {
+      out.emplace_back(e.flat, static_cast<double>(e.c->value()));
+    } else if (e.g != nullptr) {
+      out.emplace_back(e.flat, e.g->value());
+    } else if (e.h != nullptr) {
+      out.emplace_back(e.flat + ".count", static_cast<double>(e.h->count()));
+      out.emplace_back(e.flat + ".sum", e.h->sum());
+      const auto& bounds = e.h->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        out.emplace_back(e.flat + ".le_" + bound_suffix(bounds[i]),
+                         static_cast<double>(e.h->bucket(i)));
+      }
+      out.emplace_back(e.flat + ".overflow",
+                       static_cast<double>(e.h->bucket(bounds.size())));
+    } else {
+      out.emplace_back(e.flat, e.view());
+    }
+  }
+  return out;
+}
+
+}  // namespace mcc::obs

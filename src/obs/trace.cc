@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace mcc::obs {
+
+const char* trace_event_name(trace_event e) {
+  switch (e) {
+    case trace_event::packet_enqueue: return "packet_enqueue";
+    case trace_event::packet_drop: return "packet_drop";
+    case trace_event::packet_mark: return "packet_mark";
+    case trace_event::packet_deliver: return "packet_deliver";
+    case trace_event::subscribe: return "subscribe";
+    case trace_event::unsubscribe: return "unsubscribe";
+    case trace_event::session_join: return "session_join";
+    case trace_event::grace_open: return "grace_open";
+    case trace_event::grace_close: return "grace_close";
+    case trace_event::probation_record: return "probation_record";
+    case trace_event::probation_inherit: return "probation_inherit";
+    case trace_event::probation_refuse: return "probation_refuse";
+    case trace_event::slot_feedback: return "slot_feedback";
+    case trace_event::cutoff: return "cutoff";
+  }
+  return "?";
+}
+
+std::uint32_t trace_buffer::track(const std::string& name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char raw[4];
+  std::memcpy(raw, &v, sizeof raw);
+  out.append(raw, sizeof raw);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char raw[8];
+  std::memcpy(raw, &v, sizeof raw);
+  out.append(raw, sizeof raw);
+}
+
+}  // namespace
+
+std::string trace_buffer::serialize() const {
+  // Segment layout (native little-endian, matches trace2perfetto.py):
+  //   u32 track_count, then per track: u32 name_len + name bytes;
+  //   u64 record_count, then record_count raw 32-byte trace_records.
+  std::string out;
+  out.reserve(16 + records_.size() * sizeof(trace_record));
+  append_u32(out, static_cast<std::uint32_t>(tracks_.size()));
+  for (const std::string& name : tracks_) {
+    append_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+  }
+  append_u64(out, records_.size());
+  if (!records_.empty()) {
+    out.append(reinterpret_cast<const char*>(records_.data()),
+               records_.size() * sizeof(trace_record));
+  }
+  return out;
+}
+
+namespace {
+thread_local trace_buffer* g_current = nullptr;
+}  // namespace
+
+trace_buffer* current_trace() { return g_current; }
+
+trace_scope::trace_scope(trace_buffer* buf) : prev_(g_current) {
+  g_current = buf;
+}
+
+trace_scope::~trace_scope() { g_current = prev_; }
+
+}  // namespace mcc::obs

@@ -24,6 +24,9 @@ link::link(scheduler& sched, node* from, node* to, const link_config& cfg)
                 "link: queue capacity auto-size produced no room (rate too "
                 "low for the 2-BDP default)");
   aqm_ = make_aqm(cfg_.aqm, cfg_.bps, cfg_.queue_capacity_bytes);
+  if ((trace_ = obs::current_trace()) != nullptr) {
+    trace_track_ = trace_->track("link:" + from_->name() + ">" + to_->name());
+  }
 }
 
 void link::account_queue(time_ns now) {
@@ -50,6 +53,10 @@ void link::transmit(packet p) {
     aqm_->on_overflow(p, view, now);
     ++stats_.dropped;
     stats_.bytes_dropped += p.size_bytes;
+    if (trace_ != nullptr) {
+      trace_->record(now, obs::trace_event::packet_drop, trace_track_,
+                     static_cast<std::uint64_t>(p.size_bytes), 0);
+    }
     return;
   }
   switch (aqm_->on_arrival(p, view, now)) {
@@ -57,11 +64,19 @@ void link::transmit(packet p) {
       ++stats_.dropped;
       ++stats_.aqm_dropped;
       stats_.bytes_dropped += p.size_bytes;
+      if (trace_ != nullptr) {
+        trace_->record(now, obs::trace_event::packet_drop, trace_track_,
+                       static_cast<std::uint64_t>(p.size_bytes), 1);
+      }
       return;
     case aqm_decision::mark:
       if (p.ecn_capable && !p.ecn_marked) {
         p.ecn_marked = true;
         ++stats_.ecn_marked;
+        if (trace_ != nullptr) {
+          trace_->record(now, obs::trace_event::packet_mark, trace_track_,
+                         static_cast<std::uint64_t>(p.size_bytes), 0);
+        }
       }
       break;
     case aqm_decision::pass:
@@ -71,6 +86,11 @@ void link::transmit(packet p) {
   account_queue(now);
   queued_bytes_ += p.size_bytes;
   stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
+  if (trace_ != nullptr) {
+    trace_->record(now, obs::trace_event::packet_enqueue, trace_track_,
+                   static_cast<std::uint64_t>(p.size_bytes),
+                   static_cast<std::uint64_t>(queued_bytes_));
+  }
   queue_.push_back(queued{now, std::move(p)});
   if (!busy_) start_transmission();
 }
@@ -90,11 +110,19 @@ void link::start_transmission() {
         ++stats_.dropped;
         ++stats_.aqm_dropped;
         stats_.bytes_dropped += qp.p.size_bytes;
+        if (trace_ != nullptr) {
+          trace_->record(now, obs::trace_event::packet_drop, trace_track_,
+                         static_cast<std::uint64_t>(qp.p.size_bytes), 2);
+        }
         continue;
       case aqm_decision::mark:
         if (qp.p.ecn_capable && !qp.p.ecn_marked) {
           qp.p.ecn_marked = true;
           ++stats_.ecn_marked;
+          if (trace_ != nullptr) {
+            trace_->record(now, obs::trace_event::packet_mark, trace_track_,
+                           static_cast<std::uint64_t>(qp.p.size_bytes), 1);
+          }
         }
         break;
       case aqm_decision::pass:
@@ -131,6 +159,11 @@ void link::on_deliver() {
     sched_.at(flying_.front().arrive_at, [this] { on_deliver(); });
   } else {
     delivery_armed_ = false;
+  }
+  if (trace_ != nullptr) {
+    trace_->record(sched_.now(), obs::trace_event::packet_deliver,
+                   trace_track_, static_cast<std::uint64_t>(p.size_bytes),
+                   p.uid);
   }
   to_->receive(std::move(p), this);
 }

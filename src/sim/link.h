@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/trace.h"
 #include "sim/aqm.h"
 #include "sim/scheduler.h"
 #include "sim/wire.h"
@@ -109,6 +110,11 @@ class link {
   double queue_byte_ns_ = 0.0;     // integral of queued_bytes over time
   time_ns queue_changed_at_ = 0;   // left edge of the un-integrated interval
   link_stats stats_;
+  /// Event-trace sink, captured from obs::current_trace() at construction;
+  /// null (every hook one dead branch) unless the world was built inside an
+  /// obs::trace_scope.
+  obs::trace_buffer* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace mcc::sim

@@ -41,6 +41,13 @@ class network {
   std::pair<link*, link*> connect(node_id a, node_id b, const link_config& ab,
                                   const link_config& ba);
 
+  /// All unidirectional links in creation order (connect() appends two).
+  /// Deterministic iteration order, so metric views registered per link
+  /// snapshot in the same order on every run.
+  [[nodiscard]] const std::vector<std::unique_ptr<link>>& links() const {
+    return links_;
+  }
+
   /// Computes all-pairs next-hop tables. Must be called after topology is
   /// final and before traffic starts.
   void finalize_routing();

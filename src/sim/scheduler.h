@@ -263,6 +263,8 @@ class scheduler {
     } else {
       heap_push(e);
     }
+    const std::size_t pending = heap_.size() + wheel_count_;
+    if (pending > max_pending_) max_pending_ = pending;
     return event_handle(pool_, idx, slot.gen);
   }
 
@@ -303,6 +305,47 @@ class scheduler {
     return heap_.size() + wheel_count_;
   }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  /// High-watermark of pending_events() over the run (sampled at schedule
+  /// time — the only place the count grows).
+  [[nodiscard]] std::size_t max_pending_events() const { return max_pending_; }
+  /// Slab-pool high-water mark: slots are recycled through a free list and
+  /// never shrink, so the slab size is the peak distinct-pending footprint.
+  [[nodiscard]] std::size_t slots_high_water() const {
+    return pool_->slots.size();
+  }
+
+  /// Deterministic self-profiling snapshot (pure reads — never perturbs the
+  /// queue). `wheel_occupied[l]` is the number of occupied level-l buckets
+  /// (empty vector under the heap policy); `far_entries` counts the overflow
+  /// far wheel.
+  struct profile {
+    std::uint64_t executed = 0;
+    std::size_t pending = 0;
+    std::size_t max_pending = 0;
+    std::size_t slots_high_water = 0;
+    std::vector<std::size_t> wheel_occupied;
+    std::size_t far_entries = 0;
+  };
+  [[nodiscard]] profile profile_now() const {
+    profile p;
+    p.executed = executed_;
+    p.pending = pending_events();
+    p.max_pending = max_pending_;
+    p.slots_high_water = pool_->slots.size();
+    if (wheel_ != nullptr) {
+      p.wheel_occupied.resize(kWheelLevels, 0);
+      for (int l = 0; l < kWheelLevels; ++l) {
+        const wheel_level& lv = wheel_->level[static_cast<std::size_t>(l)];
+        std::size_t occupied = 0;
+        for (const std::uint64_t word : lv.occupied) {
+          occupied += static_cast<std::size_t>(std::popcount(word));
+        }
+        p.wheel_occupied[static_cast<std::size_t>(l)] = occupied;
+      }
+      p.far_entries = far_.size();
+    }
+    return p;
+  }
 
  private:
   struct entry {
@@ -554,6 +597,7 @@ class scheduler {
   time_ns now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_pending_ = 0;  // high-water mark of pending_events()
   std::shared_ptr<detail::event_pool> pool_;
   /// Heap policy: the whole queue. Wheel policy: the due heap — entries
   /// with when < horizon_, ordered by (when, seq).

@@ -1,13 +1,14 @@
 #include "util/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace mcc::util {
 
 namespace {
 log_level g_level = log_level::warn;
 
-const char* level_name(log_level level) {
+const char* level_tag(log_level level) {
   switch (level) {
     case log_level::debug:
       return "DEBUG";
@@ -27,9 +28,44 @@ const char* level_name(log_level level) {
 void set_log_level(log_level level) { g_level = level; }
 log_level get_log_level() { return g_level; }
 
+const char* log_level_name(log_level level) {
+  switch (level) {
+    case log_level::debug:
+      return "debug";
+    case log_level::info:
+      return "info";
+    case log_level::warn:
+      return "warn";
+    case log_level::error:
+      return "error";
+    case log_level::off:
+      return "off";
+  }
+  return "?";
+}
+
+std::optional<log_level> log_level_from_name(const std::string& name) {
+  if (name == "debug") return log_level::debug;
+  if (name == "info") return log_level::info;
+  if (name == "warn") return log_level::warn;
+  if (name == "error") return log_level::error;
+  if (name == "off") return log_level::off;
+  return std::nullopt;
+}
+
+std::optional<std::string> apply_log_level_env() {
+  const char* env = std::getenv("MCC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  if (const auto level = log_level_from_name(env)) {
+    set_log_level(*level);
+    return std::nullopt;
+  }
+  return std::string(env);
+}
+
 namespace detail {
 void emit_log_line(log_level level, const std::string& line) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), line.c_str());
 }
 }  // namespace detail
 

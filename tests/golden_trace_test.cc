@@ -17,6 +17,7 @@
 #include "adversary/containment.h"
 #include "crypto/prng.h"
 #include "exp/testbed.h"
+#include "obs/trace.h"
 #include "sim/aqm.h"
 #include "sim/link.h"
 #include "sim/network.h"
@@ -322,6 +323,50 @@ TEST(golden_trace_adversary, adaptive_pulse_timeline_matches_checked_in_digest) 
 
 TEST(golden_trace_adversary, adaptive_digest_is_reproducible_within_a_process) {
   EXPECT_EQ(run_adaptive_pulse_digest(), run_adaptive_pulse_digest());
+}
+
+// ---------------------------------------------------------------------------
+// Tracing must be a pure observer: with an obs::trace_scope installed, every
+// checked-in digest stays bit-identical (the hooks draw no PRNG values and
+// perturb no event), while the buffer proves the hooks actually fired.
+// ---------------------------------------------------------------------------
+
+TEST_P(golden_trace, digest_is_bit_identical_with_tracing_enabled) {
+  const qdisc d = GetParam();
+  obs::trace_buffer tb;
+  std::string digest;
+  {
+    obs::trace_scope scope(&tb);
+    digest = run_digest(d);
+  }
+  EXPECT_EQ(digest, golden(d))
+      << "enabling the event trace perturbed the engine under "
+      << qdisc_name(d);
+  EXPECT_FALSE(tb.empty()) << "trace hooks recorded nothing";
+}
+
+TEST(golden_trace_adversary, pulse_digest_is_bit_identical_with_tracing) {
+  obs::trace_buffer tb;
+  std::string digest;
+  {
+    obs::trace_scope scope(&tb);
+    digest = run_pulse_attack_digest();
+  }
+  EXPECT_EQ(digest, "0xfd1bc9bde74fb696")
+      << "enabling the event trace perturbed the attack timeline";
+  EXPECT_FALSE(tb.empty());
+}
+
+TEST(golden_trace_adversary, adaptive_digest_is_bit_identical_with_tracing) {
+  obs::trace_buffer tb;
+  std::string digest;
+  {
+    obs::trace_scope scope(&tb);
+    digest = run_adaptive_pulse_digest();
+  }
+  EXPECT_EQ(digest, "0xa925fe56e16b02de")
+      << "enabling the event trace perturbed the adaptive-attack timeline";
+  EXPECT_FALSE(tb.empty());
 }
 
 }  // namespace

@@ -70,6 +70,29 @@ TEST(throughput_monitor, smoothing_window_averages_bursts) {
   EXPECT_LT(wide[2].second, narrow[2].second);
 }
 
+TEST(throughput_monitor, window_past_the_last_bin_counts_only_recorded_bytes) {
+  scheduler s;
+  throughput_monitor m(s, milliseconds(1000));
+  s.at(milliseconds(500), [&] { m.on_bytes(1250); });  // bin 0, the only bin
+  s.run();
+  // The window extends 9 s past the last bin: the missing bins contribute
+  // nothing, but the full window duration still divides.
+  // 1250 bytes over 10 s = 1 Kbps.
+  EXPECT_NEAR(m.average_kbps(0, seconds(10.0)), 1.0, 1e-9);
+  // A window that starts past every recorded bin is plain zero.
+  EXPECT_DOUBLE_EQ(m.average_kbps(seconds(3.0), seconds(10.0)), 0.0);
+}
+
+TEST(throughput_monitor, series_of_untouched_monitor_is_empty) {
+  scheduler s;
+  throughput_monitor m(s, milliseconds(1000));
+  EXPECT_TRUE(m.series_kbps(milliseconds(1000)).empty());
+  // Still empty after the clock advances: bins exist only where bytes landed.
+  s.at(seconds(5.0), [] {});
+  s.run();
+  EXPECT_TRUE(m.series_kbps(milliseconds(1000)).empty());
+}
+
 TEST(jain_index, equal_rates_give_one) {
   const std::array<double, 4> rates = {100.0, 100.0, 100.0, 100.0};
   EXPECT_DOUBLE_EQ(jain_fairness_index(rates), 1.0);
@@ -93,6 +116,35 @@ TEST(jain_index, all_zero_rates_count_as_fair) {
 
 TEST(jain_index, rejects_empty_input) {
   EXPECT_THROW((void)jain_fairness_index({}), util::invariant_error);
+}
+
+TEST(consolidate_timelines, interleaved_equal_timestamps_emit_one_point) {
+  // Two receivers change level at the SAME instant, in opposite directions:
+  // the sweep must process both entries before emitting, so the consolidated
+  // timeline gets one point with the running maximum — never a transient
+  // from half-applied updates.
+  const level_timeline a = {{0, 3}, {seconds(1.0), 1}};
+  const level_timeline b = {{0, 1}, {seconds(1.0), 2}};
+  const level_timeline out = consolidate_level_timelines({&a, &b});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (std::pair<time_ns, int>{0, 3}));
+  EXPECT_EQ(out[1], (std::pair<time_ns, int>{seconds(1.0), 2}));
+}
+
+TEST(consolidate_timelines, equal_timestamp_updates_that_keep_the_max_are_silent) {
+  // At t=1 s one timeline rises and the other falls, leaving the maximum
+  // unchanged: no point is emitted for that instant.
+  const level_timeline a = {{0, 2}, {seconds(1.0), 1}};
+  const level_timeline b = {{0, 1}, {seconds(1.0), 2}};
+  const level_timeline out = consolidate_level_timelines({&a, &b});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::pair<time_ns, int>{0, 2}));
+}
+
+TEST(consolidate_timelines, empty_input_sets_give_an_empty_timeline) {
+  EXPECT_TRUE(consolidate_level_timelines({}).empty());
+  const level_timeline empty;
+  EXPECT_TRUE(consolidate_level_timelines({&empty, &empty}).empty());
 }
 
 }  // namespace

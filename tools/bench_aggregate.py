@@ -5,9 +5,18 @@ Two input schemas are understood:
 
   * exp::sweep documents ({"bench": ..., "rows": [{"x", "label", "values",
     "traces"}, ...]}) — every fig*/ablation* bench writes these via --json.
+    Versioned by an explicit "schema_version" field: documents that carry one
+    are dispatched on it (2 adds per-row "metrics" objects — engine metrics
+    from obs::registry — and an optional wall-clock "profile" block);
+    documents without one are the historical version-1 shape.
   * google-benchmark documents ({"benchmarks": [...]}) — the micro_* benches
     write these via --benchmark_out (traced metrics: real_time, cpu_time,
     and any user counters).
+
+Per-row "metrics" join the dashboard and the regression gate like any value
+column. The "profile" block is wall-clock (environment noise by design), so
+it is dashboard-only: shown in markdown/CSV, never compared against a
+baseline.
 
 Usage:
 
@@ -32,7 +41,10 @@ import math
 import os
 import sys
 
-# Records are (bench, row_key, metric, value) tuples.
+# Records are (bench, row_key, metric, value, comparable) tuples; comparable
+# is False for dashboard-only metrics (the wall-clock profile block).
+
+SWEEP_VERSIONS = (1, 2)
 
 
 def collect_paths(args_paths):
@@ -45,36 +57,71 @@ def collect_paths(args_paths):
     return paths
 
 
+def load_sweep(path, doc, version):
+    """Yields records from an exp::sweep document of the given version."""
+    if version not in SWEEP_VERSIONS:
+        print(f"warning: {path}: unsupported sweep schema_version {version} "
+              f"(this tool knows {SWEEP_VERSIONS}); skipped — its metrics "
+              f"are NOT aggregated", file=sys.stderr)
+        return
+    bench = doc.get("bench") or os.path.basename(path)
+    # Labels are not necessarily unique across a sweep (e.g. one label
+    # per qdisc while sweeping session counts); disambiguate repeated
+    # labels with the row's grid coordinate so no row is collapsed away.
+    label_counts = {}
+    for row in doc.get("rows", []):
+        label = row.get("label") or ""
+        label_counts[label] = label_counts.get(label, 0) + 1
+    seen = set()
+    for i, row in enumerate(doc.get("rows", [])):
+        label = row.get("label") or ""
+        if label and label_counts[label] == 1:
+            key = label
+        else:
+            key = f"{label}@x={row.get('x', i)}" if label \
+                else f"x={row.get('x', i)}"
+        if key in seen:  # same label AND x: keep rows apart regardless
+            key = f"{key}#{i}"
+        seen.add(key)
+        for metric, value in row.get("values", {}).items():
+            if isinstance(value, (int, float)) and value is not None:
+                yield bench, key, metric, float(value), True
+        if version >= 2:
+            # Engine-metrics snapshots are deterministic (jobs-invariant),
+            # so they are fair game for the regression gate.
+            for metric, value in row.get("metrics", {}).items():
+                if isinstance(value, (int, float)) and value is not None:
+                    yield bench, key, metric, float(value), True
+    if version >= 2 and "profile" in doc:
+        # Wall-clock self-profiling: dashboard-only (never compared — run-to-
+        # run wall-clock drift is machine noise, not a regression signal).
+        profile = doc["profile"]
+        for metric, value in profile.items():
+            if isinstance(value, (int, float)):
+                yield bench, "(profile)", metric, float(value), False
+        point_ms = profile.get("point_ms", {})
+        for metric in ("count", "sum"):
+            if isinstance(point_ms.get(metric), (int, float)):
+                yield (bench, "(profile)", f"point_ms.{metric}",
+                       float(point_ms[metric]), False)
+
+
 def load_records(path):
-    """Yields (bench, row_key, metric, value) from one artifact file."""
+    """Yields (bench, row_key, metric, value, comparable) tuples."""
     with open(path) as f:
         try:
             doc = json.load(f)
         except json.JSONDecodeError as e:
             raise SystemExit(f"{path}: not valid JSON ({e})")
-    if "rows" in doc:  # exp::sweep schema
-        bench = doc.get("bench") or os.path.basename(path)
-        # Labels are not necessarily unique across a sweep (e.g. one label
-        # per qdisc while sweeping session counts); disambiguate repeated
-        # labels with the row's grid coordinate so no row is collapsed away.
-        label_counts = {}
-        for row in doc["rows"]:
-            label = row.get("label") or ""
-            label_counts[label] = label_counts.get(label, 0) + 1
-        seen = set()
-        for i, row in enumerate(doc["rows"]):
-            label = row.get("label") or ""
-            if label and label_counts[label] == 1:
-                key = label
-            else:
-                key = f"{label}@x={row.get('x', i)}" if label \
-                    else f"x={row.get('x', i)}"
-            if key in seen:  # same label AND x: keep rows apart regardless
-                key = f"{key}#{i}"
-            seen.add(key)
-            for metric, value in row.get("values", {}).items():
-                if isinstance(value, (int, float)) and value is not None:
-                    yield bench, key, metric, float(value)
+    if not isinstance(doc, dict):
+        print(f"warning: {path}: top level is {type(doc).__name__}, not an "
+              f"object; skipped — its metrics are NOT aggregated",
+              file=sys.stderr)
+        return
+    if "schema_version" in doc:  # versioned exp::sweep document
+        yield from load_sweep(path, doc, doc["schema_version"])
+    elif "rows" in doc:  # historical sweep documents predate the version field
+        yield from load_sweep(path, doc, 1)
     elif "benchmarks" in doc:  # google-benchmark schema
         bench = os.path.basename(path).removeprefix("BENCH_").removesuffix(
             ".json")
@@ -89,7 +136,7 @@ def load_records(path):
                 if metric in skipped_fields:
                     continue
                 if isinstance(value, (int, float)):
-                    yield bench, key, metric, float(value)
+                    yield bench, key, metric, float(value), True
     else:
         # A skipped artifact silently shrinks the regression gate's coverage,
         # so name the file AND what it actually contained: a schema drift in
@@ -102,11 +149,16 @@ def load_records(path):
 
 
 def load_set(paths):
+    """Returns (records, noncompare): all records plus the dashboard-only
+    key set (excluded from baseline comparison)."""
     records = {}
+    noncompare = set()
     for path in paths:
-        for bench, key, metric, value in load_records(path):
+        for bench, key, metric, value, comparable in load_records(path):
             records[(bench, key, metric)] = value
-    return records
+            if not comparable:
+                noncompare.add((bench, key, metric))
+    return records, noncompare
 
 
 def fmt(value):
@@ -142,11 +194,11 @@ def write_csv(records, out):
         w.writerow([bench, key, metric, repr(value)])
 
 
-def compare(current, baseline, threshold):
+def compare(current, baseline, threshold, noncompare=frozenset()):
     """Returns [(key, base, cur, rel_delta)] beyond threshold, worst first."""
     flagged = []
     for key, base in baseline.items():
-        if key not in current:
+        if key not in current or key in noncompare:
             continue
         cur = current[key]
         if math.isnan(base) or math.isnan(cur):
@@ -178,7 +230,7 @@ def main():
     paths = collect_paths(args.paths)
     if not paths:
         raise SystemExit("no BENCH_*.json artifacts found")
-    records = load_set(paths)
+    records, noncompare = load_set(paths)
     print(f"aggregated {len(records)} metrics from {len(paths)} artifact(s)")
 
     if args.out_md:
@@ -197,15 +249,16 @@ def main():
         if not base_paths:
             raise SystemExit(
                 f"--baseline {args.baseline}: no BENCH_*.json artifacts found")
-        base = load_set(base_paths)
-        shared = sum(1 for k in base if k in records)
+        base, base_noncompare = load_set(base_paths)
+        skip = noncompare | base_noncompare
+        shared = sum(1 for k in base if k in records and k not in skip)
         if shared == 0:
             # Nothing to compare means the gate would silently pass on a
             # typo'd path, renamed bench, or row-key drift: fail loud.
             raise SystemExit(
                 "--baseline shares no (bench, row, metric) keys with the "
                 "current set — regression check is vacuous")
-        flagged = compare(records, base, args.threshold)
+        flagged = compare(records, base, args.threshold, skip)
         print(f"compared {shared} shared metrics against baseline; "
               f"{len(flagged)} beyond ±{args.threshold:.0%}")
         for (bench, key, metric), b, c, rel in (

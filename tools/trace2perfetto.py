@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Convert an MCCT event trace (a bench's --trace output) to Chrome/Perfetto
+trace JSON.
+
+Usage:
+  tools/trace2perfetto.py TRACE.bin [-o OUT.json] [--summary]
+
+Open the output at https://ui.perfetto.dev or chrome://tracing. Each traced
+sweep row becomes one "process"; each engine track (one per link direction,
+per SIGMA router interface, and per receiver) becomes one named "thread"
+inside it, so the per-interface timelines line up vertically.
+
+File format (all integers little-endian; see docs/observability.md):
+
+  container:  "MCCT" magic, u32 version (1), u32 segment_count, then per
+              segment: u32 row_index, u64 blob_size, blob
+  segment:    u32 track_count, per track u32 name_len + name bytes,
+              u64 record_count, then record_count raw 32-byte records
+  record:     i64 t_ns, u32 track, u16 kind, u16 reserved, u64 a, u64 b
+
+Timestamps are simulated nanoseconds; the converter emits microseconds (the
+Chrome trace unit), so one simulated second reads as one second in the UI.
+"""
+
+import argparse
+import json
+import struct
+import sys
+
+# Mirrors obs::trace_event / trace_event_name() in src/obs/trace.h.
+EVENT_NAMES = {
+    1: "packet_enqueue",
+    2: "packet_drop",
+    3: "packet_mark",
+    4: "packet_deliver",
+    5: "subscribe",
+    6: "unsubscribe",
+    7: "session_join",
+    8: "grace_open",
+    9: "grace_close",
+    10: "probation_record",
+    11: "probation_inherit",
+    12: "probation_refuse",
+    13: "slot_feedback",
+    14: "cutoff",
+}
+
+RECORD = struct.Struct("<qIHHQQ")  # t_ns, track, kind, reserved, a, b
+assert RECORD.size == 32
+
+
+class TraceError(ValueError):
+    pass
+
+
+def _take(data, offset, n, what):
+    if offset + n > len(data):
+        raise TraceError(f"truncated trace: need {n} bytes for {what} at "
+                         f"offset {offset}, file has {len(data)}")
+    return data[offset:offset + n], offset + n
+
+
+def parse_segment(blob):
+    """Returns (track_names, records) where records are RECORD tuples."""
+    off = 0
+    raw, off = _take(blob, off, 4, "track count")
+    (ntracks,) = struct.unpack("<I", raw)
+    tracks = []
+    for i in range(ntracks):
+        raw, off = _take(blob, off, 4, f"track {i} name length")
+        (nlen,) = struct.unpack("<I", raw)
+        raw, off = _take(blob, off, nlen, f"track {i} name")
+        tracks.append(raw.decode("utf-8"))
+    raw, off = _take(blob, off, 8, "record count")
+    (nrecords,) = struct.unpack("<Q", raw)
+    raw, off = _take(blob, off, nrecords * RECORD.size, "records")
+    records = list(RECORD.iter_unpack(raw))
+    if off != len(blob):
+        raise TraceError(f"segment has {len(blob) - off} trailing bytes")
+    return tracks, records
+
+
+def parse_container(data):
+    """Returns a list of (row_index, track_names, records)."""
+    off = 0
+    raw, off = _take(data, off, 4, "magic")
+    if raw != b"MCCT":
+        raise TraceError(f"bad magic {raw!r} (expected b'MCCT')")
+    raw, off = _take(data, off, 8, "header")
+    version, nsegments = struct.unpack("<II", raw)
+    if version != 1:
+        raise TraceError(f"unsupported container version {version}")
+    segments = []
+    for i in range(nsegments):
+        raw, off = _take(data, off, 12, f"segment {i} header")
+        row_index, blob_size = struct.unpack("<IQ", raw)
+        blob, off = _take(data, off, blob_size, f"segment {i} blob")
+        tracks, records = parse_segment(blob)
+        segments.append((row_index, tracks, records))
+    if off != len(data):
+        raise TraceError(f"container has {len(data) - off} trailing bytes")
+    return segments
+
+
+def to_trace_events(segments):
+    events = []
+    for row_index, tracks, records in segments:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": row_index,
+            "tid": 0,
+            "args": {"name": f"row {row_index}"},
+        })
+        for tid, name in enumerate(tracks):
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": row_index,
+                "tid": tid,
+                "args": {"name": name},
+            })
+        for t_ns, track, kind, _reserved, a, b in records:
+            events.append({
+                "name": EVENT_NAMES.get(kind, f"event_{kind}"),
+                "cat": "mcc",
+                "ph": "i",
+                "s": "t",
+                "pid": row_index,
+                "tid": track,
+                "ts": t_ns / 1000.0,
+                "args": {"a": a, "b": b},
+            })
+    return events
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Convert an MCCT --trace file to Chrome/Perfetto JSON")
+    ap.add_argument("trace", help="MCCT trace file written by a bench")
+    ap.add_argument("-o", "--output",
+                    help="output JSON path (default: TRACE.json)")
+    ap.add_argument("--summary", action="store_true",
+                    help="print per-row track/record counts to stderr")
+    args = ap.parse_args(argv)
+
+    with open(args.trace, "rb") as f:
+        data = f.read()
+    try:
+        segments = parse_container(data)
+    except TraceError as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    if args.summary:
+        for row_index, tracks, records in segments:
+            print(f"row {row_index}: {len(tracks)} tracks, "
+                  f"{len(records)} records", file=sys.stderr)
+
+    out_path = args.output or (args.trace.rsplit(".", 1)[0] + ".json")
+    doc = {"traceEvents": to_trace_events(segments), "displayTimeUnit": "ms"}
+    with open(out_path, "w") as f:
+        json.dump(doc, f)
+    total = sum(len(records) for _, _, records in segments)
+    print(f"wrote {out_path} ({len(segments)} rows, {total} events)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
