@@ -73,11 +73,19 @@ struct cell {
   sim::qdisc queue;
   bool keying = false;  // interface-keying countermeasure on
   int memory = 0;       // probation-memory window, slots (0 = off)
+  bool cm = false;      // shared congestion manager on
+  // Seed index counting only the cm-off grid: a "/cm" cell simulates the
+  // SAME world as its plain twin (the pair comparison isolates the
+  // manager), and plain cells keep the exact seeds they had before the cm
+  // axis existed, so the rolling bench baseline keeps matching.
+  std::size_t seed_index = 0;
 };
 
 exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
                                 sim::qdisc queue, const sim::aqm_config& aqm_in,
-                                bool keying, int memory, site_plan& sites) {
+                                bool keying, int memory, bool cm,
+                                const cm::cm_config& cm_params,
+                                site_plan& sites) {
   sim::aqm_config aqm = aqm_in;
   aqm.discipline = queue;
   if (topo == "dumbbell") {
@@ -88,6 +96,8 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.aqm = aqm;
     cfg.interface_keying = keying;
     cfg.probation_memory_slots = memory;
+    cfg.cm = cm;
+    cfg.cm_params = cm_params;
     sites = {"r", "r", "r"};
     return exp::dumbbell(cfg);
   }
@@ -100,6 +110,8 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.aqm = aqm;
     cfg.interface_keying = keying;
     cfg.probation_memory_slots = memory;
+    cfg.cm = cm;
+    cfg.cm_params = cm_params;
     // The attacker sits behind both bottlenecks; its colluding partner
     // behind only the first, so the partner's cleaner congestion state
     // feeds the key pool.
@@ -116,6 +128,8 @@ exp::testbed_config make_config(const std::string& topo, std::uint64_t seed,
     cfg.aqm = aqm;
     cfg.interface_keying = keying;
     cfg.probation_memory_slots = memory;
+    cfg.cm = cm;
+    cfg.cm_params = cm_params;
     // Attacker on a sibling leaf of the honest receiver: they share the
     // root->t1_0 edge (the contested link) and split below it. The second
     // colluder sits in the other subtree, where its cleaner congestion
@@ -152,6 +166,10 @@ int main(int argc, char** argv) {
   flags.add("seed", "7", "simulation seed");
   exp::add_interface_keying_flag(flags, "both");
   exp::add_probation_memory_flag(flags, "both");
+  // Default off: the matrix is a single-receiver-per-edge study outside the
+  // dumbbell, where the manager is provably inert; --cm=both adds the
+  // shared-manager twin of every cell for the never-worsens-ttc pin.
+  exp::add_cm_flags(flags, "off");
   exp::add_aqm_flags(flags);
   exp::add_sweep_flags(flags);
   exp::add_sched_flag(flags);
@@ -231,16 +249,29 @@ int main(int argc, char** argv) {
                  "running the axis off\n");
     memories = {0};
   }
+  const std::vector<bool> cms = exp::cm_axis_from_flags(flags);
+  const cm::cm_config cm_params = exp::cm_config_from_flags(flags);
 
   std::vector<cell> cells;
+  std::size_t seed_index = 0;
   for (const adversary::strategy_kind s : strategies) {
     for (const std::string& t : topos) {
       // Validate topology names up front (before worker threads).
       site_plan probe;
-      (void)make_config(t, 1, sim::qdisc::droptail, aqm_base, false, 0, probe);
+      (void)make_config(t, 1, sim::qdisc::droptail, aqm_base, false, 0, false,
+                        cm_params, probe);
       for (const sim::qdisc q : qdiscs) {
         for (const bool k : keyings) {
-          for (const int m : memories) cells.push_back({s, t, q, k, m});
+          for (const int m : memories) {
+            // All cm variants of a grid point share one seed_index, and the
+            // index advances only per cm-OFF point: "/cm" rows simulate
+            // their twin's exact world, plain rows keep their historical
+            // seeds no matter what --cm says.
+            for (const bool c : cms) {
+              cells.push_back({s, t, q, k, m, c, seed_index});
+            }
+            ++seed_index;
+          }
         }
       }
     }
@@ -257,8 +288,9 @@ int main(int argc, char** argv) {
   const auto rows = exp::run_sweep(xs, opts, [&](const exp::sweep_point& pt) {
     const cell& c = cells[pt.index];
     site_plan sites;
-    exp::testbed d(make_config(c.topo, pt.seed, c.queue, aqm_base, c.keying,
-                               c.memory, sites));
+    exp::testbed d(make_config(c.topo, exp::point_seed(opts.base_seed, c.seed_index),
+                               c.queue, aqm_base, c.keying, c.memory, c.cm,
+                               cm_params, sites));
 
     adversary::profile attack;
     switch (c.strategy) {
@@ -332,7 +364,8 @@ int main(int argc, char** argv) {
     // diffs keep matching the historical rows.
     row.label = std::string(adversary::strategy_name(c.strategy)) + "/" +
                 c.topo + "/" + sim::qdisc_name(c.queue) +
-                (c.keying ? "/keyed" : "") + (c.memory > 0 ? "/mem" : "");
+                (c.keying ? "/keyed" : "") + (c.memory > 0 ? "/mem" : "") +
+                (c.cm ? "/cm" : "");
     double attacker_sum = 0.0;
     double honest_sum = 0.0;
     for (const sim::throughput_monitor* m : honest_monitors) {
@@ -384,6 +417,15 @@ int main(int argc, char** argv) {
     row.value("contained", contained ? 1.0 : 0.0);
     row.value("interface_keying", c.keying ? 1.0 : 0.0);
     row.value("probation_memory", static_cast<double>(c.memory));
+    row.value("cm", c.cm ? 1.0 : 0.0);
+    // Zero bindings across every receiver in the cell ⇒ the manager never
+    // changed an auth mask ⇒ the whole run is byte-identical to the plain
+    // twin. That is the predicate the cm compatibility pin below keys on.
+    std::uint64_t cm_bindings = honest_session.receiver(0).stats().cm_bindings;
+    for (int a = 0; a < attackers; ++a) {
+      cm_bindings += rogue.receiver(a).stats().cm_bindings;
+    }
+    row.value("cm_bindings", static_cast<double>(cm_bindings));
     // Sustained late-window rate: everything after the attack's first grace
     // windows and escalation rounds have played out. Under probation memory
     // the churn strategies must collapse to ~0 here.
@@ -556,6 +598,43 @@ int main(int argc, char** argv) {
                          "churn cells strictly less profitable under memory",
                          "all of them", static_cast<double>(less_profitable),
                          "of " + std::to_string(churn_pairs));
+      }
+    }
+    // The shared-manager compatibility pin: every "/cm" cell simulates its
+    // plain twin's exact world (same seed by construction). Wherever the
+    // manager stayed inert — zero cap bindings, which structurally covers
+    // every cell whose honest receiver and attacker sit at different edges
+    // (one session per path) — the run must be indistinguishable from the
+    // twin, so turning cm on must not move time-to-containment at all.
+    // Dumbbell cells where the cap actually bound are a different experiment
+    // (fig_session_farm's) and are reported, not claimed.
+    if (cms.size() > 1) {
+      int inert_pairs = 0;
+      int unchanged = 0;
+      int bound_pairs = 0;
+      for (const auto& row : rows) {
+        if (row.value_of("cm") != 0.0) continue;
+        const exp::sweep_row* cm_row = nullptr;
+        for (const auto& other : rows) {
+          if (other.label == row.label + "/cm") cm_row = &other;
+        }
+        if (cm_row == nullptr) continue;
+        if (cm_row->value_of("cm_bindings") > 0.0) {
+          ++bound_pairs;
+          continue;
+        }
+        ++inert_pairs;
+        if (cm_row->value_of("ttc_s") == row.value_of("ttc_s")) ++unchanged;
+      }
+      if (inert_pairs > 0) {
+        exp::print_check(
+            std::cout,
+            "cm-inert cells (zero cap bindings) with ttc unchanged",
+            "all of them", static_cast<double>(unchanged),
+            "of " + std::to_string(inert_pairs));
+        std::printf("  (cells where the shared cap bound: %d — see "
+                    "fig_session_farm for that study)\n",
+                    bound_pairs);
       }
     }
   }

@@ -1,0 +1,121 @@
+#include "cm/congestion_manager.h"
+
+#include <algorithm>
+
+namespace mcc::cm {
+
+congestion_manager::congestion_manager(cm_config cfg) : cfg_(cfg) {
+  util::require(cfg_.max_entries >= 1, "congestion_manager: max_entries >= 1",
+                cfg_.max_entries);
+  util::require(cfg_.aging_slots >= 1, "congestion_manager: aging_slots >= 1");
+  util::require(cfg_.signal_weight > 0.0 && cfg_.signal_weight <= 1.0,
+                "congestion_manager: signal_weight in (0, 1]");
+  util::require(cfg_.rate_weight > 0.0 && cfg_.rate_weight <= 1.0,
+                "congestion_manager: rate_weight in (0, 1]");
+  util::require(cfg_.headroom > 0.0, "congestion_manager: headroom > 0");
+}
+
+void congestion_manager::register_session(const path_id& path, int session_id) {
+  ++registrations_[path][session_id];
+}
+
+void congestion_manager::unregister_session(const path_id& path,
+                                            int session_id) {
+  const auto it = registrations_.find(path);
+  util::require(it != registrations_.end(),
+                "congestion_manager: unregister of unknown path");
+  const auto sit = it->second.find(session_id);
+  util::require(sit != it->second.end(),
+                "congestion_manager: unregister of unknown session",
+                session_id);
+  if (--sit->second == 0) it->second.erase(sit);
+  if (it->second.empty()) registrations_.erase(it);
+}
+
+int congestion_manager::sessions_at(const path_id& path) const {
+  const auto it = registrations_.find(path);
+  return it == registrations_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+std::size_t congestion_manager::registered_sessions() const {
+  std::size_t n = 0;
+  for (const auto& [path, sessions] : registrations_) n += sessions.size();
+  return n;
+}
+
+void congestion_manager::observe(const path_id& path, const observation& obs) {
+  ++stats_.observations;
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) {
+    if (static_cast<int>(lru_.size()) >= cfg_.max_entries) {
+      // LRU pressure: the least recently *observed* path gives way. Its
+      // registrations survive — sharing resumes from a fresh entry the next
+      // time a receiver behind it reports.
+      by_path_.erase(lru_.back().path);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    lru_.push_front(entry{path, path_state{}});
+    it = by_path_.emplace(path, lru_.begin()).first;
+    ++stats_.insertions;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+  path_state& s = it->second->state;
+  const double loss = obs.congested ? 1.0 : 0.0;
+  const double mark = obs.ecn_marked ? 1.0 : 0.0;
+  if (stale(s, obs.slot)) {
+    // First observation, or first after an idle gap longer than the aging
+    // window: congestion state from before the gap says nothing about the
+    // path now, so the EWMAs restart from this sample.
+    if (s.last_update_slot >= 0) ++stats_.aged_resets;
+    s.loss_ewma = loss;
+    s.mark_ewma = mark;
+    s.fair_rate_kbps = obs.delivered_kbps;
+  } else {
+    const double w = cfg_.signal_weight;
+    s.loss_ewma = (1.0 - w) * s.loss_ewma + w * loss;
+    s.mark_ewma = (1.0 - w) * s.mark_ewma + w * mark;
+    const double rw = cfg_.rate_weight;
+    s.fair_rate_kbps = (1.0 - rw) * s.fair_rate_kbps + rw * obs.delivered_kbps;
+  }
+  s.last_update_slot = std::max(s.last_update_slot, obs.slot);
+}
+
+int congestion_manager::level_cap(const path_id& path, std::int64_t slot,
+                                  std::span<const double> cum_kbps) {
+  ++stats_.lookups;
+  const int no_cap = static_cast<int>(cum_kbps.size());
+  if (sessions_at(path) < 2) return no_cap;
+  const auto it = by_path_.find(path);
+  if (it == by_path_.end()) return no_cap;
+  const path_state& s = it->second->state;
+  if (stale(s, slot)) {
+    ++stats_.stale_lookups;
+    return no_cap;
+  }
+  const double severity = std::max(s.loss_ewma, s.mark_ewma);
+  if (severity <= cfg_.congestion_threshold) return no_cap;
+  // Severity-scaled budget: mild congestion (severity just over the
+  // threshold) caps near fair_rate x headroom, which merely stops sessions
+  // from probing into the overload. Sustained congestion shrinks the budget
+  // below the fair-rate estimate, so the whole farm sheds a layer and the
+  // shared queue actually drains. The 0.5 floor keeps one bad sample from
+  // collapsing every session toward the base layer.
+  const double budget =
+      s.fair_rate_kbps * std::max(0.5, cfg_.headroom - severity);
+  int cap = 1;  // the cap never pushes a session out of the base layer
+  for (int level = 2; level <= no_cap; ++level) {
+    if (cum_kbps[static_cast<std::size_t>(level - 1)] > budget) break;
+    cap = level;
+  }
+  if (cap < no_cap) ++stats_.capped_lookups;
+  return cap;
+}
+
+const path_state* congestion_manager::state_of(const path_id& path) const {
+  const auto it = by_path_.find(path);
+  return it == by_path_.end() ? nullptr : &it->second->state;
+}
+
+}  // namespace mcc::cm

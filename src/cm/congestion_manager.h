@@ -1,0 +1,171 @@
+// Shared congestion manager (RFC 3124 idiom): sessions co-located at an edge
+// register with one `cm::congestion_manager`, which holds an LRU-evicted
+// table of per-path congestion state — loss/ECN-mark EWMAs, an estimated
+// fair rate, and the last-updated slot — keyed by an *aggregated* path id
+// (edge interface x bottleneck direction x traffic class), not per flow.
+// Receivers feed it their per-slot loss/mark observations and consult it as
+// a cap on join decisions: when several sessions share a congested path, no
+// session is authorized to probe above the path's estimated fair level.
+//
+// Two maps, two planes:
+//   - the *registration* map (control plane) counts distinct sessions per
+//     path id and is never evicted — losing a registration would silently
+//     disable sharing for a live session;
+//   - the *state* cache (data plane) is the bounded LRU table of path_state
+//     entries, refreshed on observation (a consult never promotes an entry,
+//     so recency order == observation order and eviction laws are
+//     hand-computable).
+//
+// Determinism contract: the manager draws no PRNG values and schedules no
+// events. When fewer than two distinct sessions are registered at a path,
+// level_cap never binds, so a single-session world behaves byte-identically
+// with the manager on or off; with the manager detached (`cm` off in
+// exp::testbed) the legacy code path is untouched. Pinned by cm_test.
+#ifndef MCC_CM_CONGESTION_MANAGER_H
+#define MCC_CM_CONGESTION_MANAGER_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <span>
+
+#include "sim/wire.h"
+#include "util/require.h"
+
+namespace mcc::cm {
+
+/// Which side of the edge interface the bottleneck sits on. Receiver-driven
+/// layered multicast congests the downstream direction; the field exists so
+/// sender-side state (future work) aggregates into distinct entries.
+enum class path_direction : std::uint8_t { downstream = 0, upstream = 1 };
+
+/// Aggregated path identity: every flow crossing the same edge interface in
+/// the same direction with the same traffic class shares one state entry.
+struct path_id {
+  sim::node_id edge = -1;  // edge router interface the sessions sit behind
+  path_direction direction = path_direction::downstream;
+  int traffic_class = 0;
+
+  friend bool operator==(const path_id& a, const path_id& b) {
+    return a.edge == b.edge && a.direction == b.direction &&
+           a.traffic_class == b.traffic_class;
+  }
+  friend bool operator<(const path_id& a, const path_id& b) {
+    if (a.edge != b.edge) return a.edge < b.edge;
+    if (a.direction != b.direction) return a.direction < b.direction;
+    return a.traffic_class < b.traffic_class;
+  }
+};
+
+struct cm_config {
+  /// State-cache capacity (entries); the registration map is unbounded.
+  int max_entries = 64;
+  /// An entry older than this many slots is stale: consults ignore it and
+  /// the next observation restarts its EWMAs from scratch (idle gaps carry
+  /// no congestion memory across them).
+  std::int64_t aging_slots = 8;
+  /// EWMA weight of per-slot loss/mark observations.
+  double signal_weight = 0.25;
+  /// EWMA weight of the delivered-rate (fair rate) estimate.
+  double rate_weight = 0.25;
+  /// The cap binds only while max(loss, mark) EWMA exceeds this; below it
+  /// the path is considered uncongested and sessions probe freely.
+  double congestion_threshold = 0.25;
+  /// Fair-rate multiplier when translating the estimate into a level cap:
+  /// the cap is the highest level whose cumulative rate fits within
+  /// max(0.5, headroom - severity) x estimated fair rate, where severity is
+  /// the binding max(loss, mark) EWMA. Mild congestion leaves one probing
+  /// step of slack; sustained congestion shrinks the budget below the
+  /// estimate so the farm sheds a layer and the shared queue drains.
+  double headroom = 1.3;
+};
+
+/// Per-path shared state: what co-located sessions know about one path.
+struct path_state {
+  double loss_ewma = 0.0;        // smoothed per-slot loss indicator
+  double mark_ewma = 0.0;        // smoothed per-slot ECN-mark indicator
+  double fair_rate_kbps = 0.0;   // smoothed delivered rate across sessions
+  std::int64_t last_update_slot = -1;
+};
+
+/// One receiver's per-slot report into the shared table.
+struct observation {
+  std::int64_t slot = 0;
+  bool congested = false;    // the slot lost data on a fully subscribed group
+  bool ecn_marked = false;   // the slot carried an ECN-invalidated component
+  double delivered_kbps = 0.0;  // cumulative rate of the level held all slot
+};
+
+class congestion_manager {
+ public:
+  explicit congestion_manager(cm_config cfg = {});
+
+  [[nodiscard]] const cm_config& config() const { return cfg_; }
+
+  /// Control plane: a session announces a receiver behind `path`. The cap
+  /// only ever binds at paths where at least two *distinct* sessions are
+  /// registered — one session alone is entitled to its own probing.
+  void register_session(const path_id& path, int session_id);
+  void unregister_session(const path_id& path, int session_id);
+  /// Distinct sessions currently registered at `path`.
+  [[nodiscard]] int sessions_at(const path_id& path) const;
+
+  /// Data plane: folds one receiver's slot report into the path's entry,
+  /// inserting (and LRU-evicting) as needed. A stale entry restarts its
+  /// EWMAs from this observation instead of decaying across the idle gap.
+  void observe(const path_id& path, const observation& obs);
+
+  /// The highest subscription level the shared state authorizes at `path`
+  /// during `slot`. `cum_kbps[i]` is the cumulative rate of level i+1; the
+  /// no-cap answer is cum_kbps.size(). Never binds below level 1, when
+  /// fewer than two sessions share the path, when the entry is missing or
+  /// stale, or while the congestion EWMA sits under the threshold.
+  [[nodiscard]] int level_cap(const path_id& path, std::int64_t slot,
+                              std::span<const double> cum_kbps);
+
+  /// Read-only state lookup (tests and metrics); nullptr when absent.
+  [[nodiscard]] const path_state* state_of(const path_id& path) const;
+
+  struct counters {
+    std::uint64_t observations = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;       // LRU pressure drops
+    std::uint64_t aged_resets = 0;     // observations that restarted a stale entry
+    std::uint64_t lookups = 0;         // level_cap consults
+    std::uint64_t stale_lookups = 0;   // consults that ignored a stale entry
+    std::uint64_t capped_lookups = 0;  // consults that returned a binding cap
+  };
+  [[nodiscard]] const counters& stats() const { return stats_; }
+  /// Live state-cache entries (<= max_entries).
+  [[nodiscard]] std::size_t entries() const { return by_path_.size(); }
+  /// Paths with at least one registered session.
+  [[nodiscard]] std::size_t registered_paths() const {
+    return registrations_.size();
+  }
+  /// Sum of distinct-session counts across registered paths.
+  [[nodiscard]] std::size_t registered_sessions() const;
+
+ private:
+  struct entry {
+    path_id path;
+    path_state state;
+  };
+  using lru_list = std::list<entry>;
+
+  [[nodiscard]] bool stale(const path_state& s, std::int64_t slot) const {
+    return s.last_update_slot < 0 || slot - s.last_update_slot > cfg_.aging_slots;
+  }
+
+  cm_config cfg_;
+  /// Most-recently-observed entry at the front; eviction pops the back.
+  lru_list lru_;
+  std::map<path_id, lru_list::iterator> by_path_;
+  /// path -> (session id -> registered receiver count). Control plane:
+  /// never evicted, so sessions_at is exact for the whole run.
+  std::map<path_id, std::map<int, int>> registrations_;
+  counters stats_;
+};
+
+}  // namespace mcc::cm
+
+#endif  // MCC_CM_CONGESTION_MANAGER_H

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "sim/stats.h"
+
 namespace mcc::exp {
 
 void print_series(std::ostream& os, const std::string& title, const series& s,
@@ -46,6 +48,51 @@ void print_check(std::ostream& os, const std::string& what,
                  const std::string& unit) {
   os << "CHECK  " << what << ": paper=" << paper_says << "  measured="
      << std::fixed << std::setprecision(2) << measured << " " << unit << "\n";
+}
+
+series ewma_smooth(const series& raw, double weight) {
+  series out;
+  out.reserve(raw.size());
+  // The smoother's whole state lives in this frame: two calls can never
+  // observe each other, which is the no-shared-smoothing-state contract.
+  double state = 0.0;
+  bool first = true;
+  for (const auto& [x, y] : raw) {
+    state = first ? y : (1.0 - weight) * state + weight * y;
+    first = false;
+    out.emplace_back(x, state);
+  }
+  return out;
+}
+
+session_rollup roll_up_sessions(const std::vector<session_sample>& sessions,
+                                double smooth_weight) {
+  session_rollup out;
+  std::vector<double> rates;
+  rates.reserve(sessions.size());
+  for (const session_sample& s : sessions) {
+    session_column col;
+    col.name = s.name;
+    col.rate = s.rate;
+    col.smoothed = ewma_smooth(s.raw, smooth_weight);
+    out.total_rate += s.rate;
+    rates.push_back(s.rate);
+    out.sessions.push_back(std::move(col));
+  }
+  out.jain = sim::jain_fairness_index(rates);
+  return out;
+}
+
+void print_session_rollup(std::ostream& os, const std::string& title,
+                          const session_rollup& r) {
+  os << "# " << title << "\n";
+  for (const session_column& s : r.sessions) {
+    os << "  " << s.name << " " << std::fixed << std::setprecision(2) << s.rate
+       << "\n";
+  }
+  os << "  total " << std::fixed << std::setprecision(2) << r.total_rate
+     << "\n";
+  os << "  jain " << std::setprecision(4) << r.jain << "\n\n";
 }
 
 }  // namespace mcc::exp

@@ -36,6 +36,10 @@ testbed::testbed(testbed_config cfg)
   if (cfg_.sender_site.empty()) cfg_.sender_site = topo_.routers().front();
   if (cfg_.receiver_site.empty()) cfg_.receiver_site = topo_.routers().back();
   register_scheduler_metrics();
+  if (cfg_.cm) {
+    cm_ = std::make_unique<cm::congestion_manager>(cfg_.cm_params);
+    register_cm_metrics();
+  }
 }
 
 std::uint64_t testbed::next_seed() { return crypto::splitmix64(seed_state_); }
@@ -214,6 +218,13 @@ flid_session& testbed::add_flid_session(
     auto receiver = std::make_unique<flid::flid_receiver>(
         net_, rh, topo_.node(site), cfg,
         adversary::make_strategy(proto, prof, actx));
+    if (cm_ != nullptr) {
+      // Register the session under the receiver's aggregated edge path and
+      // wire the data plane before start() latches the receiver's state.
+      const cm::path_id path = cm_path(site);
+      cm_->register_session(path, sid);
+      receiver->set_congestion_path(cm_.get(), path);
+    }
     receiver->start(opt.start_time);
     if (prof.attacks()) {
       // Attacker-spend views (adversary::measure_cost reads the receiver's
@@ -240,6 +251,18 @@ flid_session& testbed::add_flid_session(
 
   sessions_.push_back(std::move(session));
   return *sessions_.back();
+}
+
+std::vector<flid_session*> testbed::add_session_array(
+    int n, flid_mode mode, const std::vector<receiver_options>& receivers,
+    const session_options& opts) {
+  util::require(n >= 1, "testbed::add_session_array: need n >= 1", n);
+  std::vector<flid_session*> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(&add_flid_session(mode, receivers, opts));
+  }
+  return out;
 }
 
 flid_population& testbed::add_population(flid_session& session,
@@ -271,6 +294,13 @@ flid_population& testbed::add_population(flid_session& session,
       net_, host, topo_.node(site), session.config,
       population::make_aggregate_strategy(proto, *pop->aggregate,
                                           cfg_.interface_keying));
+  if (cm_ != nullptr) {
+    // The delegate speaks for the whole population, so the population's
+    // consolidated subscription is capped like any individual receiver's.
+    const cm::path_id path = cm_path(site);
+    cm_->register_session(path, sid);
+    pop->delegate->set_congestion_path(cm_.get(), path);
+  }
   pop->delegate->start(opts.start_time);
   const population::edge_aggregate* agg = pop->aggregate.get();
   const obs::label_list labels{{"session", std::to_string(sid)},
@@ -426,6 +456,33 @@ void testbed::register_edge_metrics(const std::string& site,
   add_sigma("blocked_grants", &sigma_counters::blocked_grants);
 }
 
+void testbed::register_cm_metrics() {
+  const cm::congestion_manager* m = cm_.get();
+  using cm_counters = cm::congestion_manager::counters;
+  const auto add_counter = [&](const char* name,
+                               std::uint64_t cm_counters::*field) {
+    metrics_.add_view(std::string("cm.") + name, {}, [m, field] {
+      return static_cast<double>(m->stats().*field);
+    });
+  };
+  add_counter("observations", &cm_counters::observations);
+  add_counter("insertions", &cm_counters::insertions);
+  add_counter("evictions", &cm_counters::evictions);
+  add_counter("aged_resets", &cm_counters::aged_resets);
+  add_counter("lookups", &cm_counters::lookups);
+  add_counter("stale_lookups", &cm_counters::stale_lookups);
+  add_counter("capped_lookups", &cm_counters::capped_lookups);
+  metrics_.add_view("cm.entries", {}, [m] {
+    return static_cast<double>(m->entries());
+  });
+  metrics_.add_view("cm.registered_paths", {}, [m] {
+    return static_cast<double>(m->registered_paths());
+  });
+  metrics_.add_view("cm.registered_sessions", {}, [m] {
+    return static_cast<double>(m->registered_sessions());
+  });
+}
+
 void testbed::register_link_metrics() {
   for (const auto& owned : net_.links()) {
     const sim::link* l = owned.get();
@@ -502,6 +559,8 @@ testbed_config scenario(sim::topology_builder topo, std::string sender_site,
   out.interface_keying = cfg.interface_keying;
   out.probation_memory_slots = cfg.probation_memory_slots;
   out.sched = cfg.sched;
+  out.cm = cfg.cm;
+  out.cm_params = cfg.cm_params;
   out.seed = cfg.seed;
   return out;
 }
@@ -536,6 +595,29 @@ double average_receiver_kbps(flid_session& session, sim::time_ns t0,
   double sum = 0.0;
   for (auto& r : session.receivers) sum += r->monitor().average_kbps(t0, t1);
   return sum / static_cast<double>(session.receivers.size());
+}
+
+session_rollup session_rollup_for(const std::vector<flid_session*>& sessions,
+                                  sim::time_ns t0, sim::time_ns t1) {
+  std::vector<session_sample> samples;
+  samples.reserve(sessions.size());
+  for (flid_session* s : sessions) {
+    session_sample sample;
+    sample.name = "session" + std::to_string(s->config.session_id);
+    // Point-wise sum across the session's monitors keyed by sample time:
+    // receivers share the monitor bin grid, but a late-started receiver's
+    // series begins later, so merging by x keeps the sum honest.
+    std::map<double, double> merged;
+    const auto fold = [&](flid::flid_receiver& r) {
+      sample.rate += r.monitor().average_kbps(t0, t1);
+      for (const auto& [x, y] : r.monitor().series_kbps()) merged[x] += y;
+    };
+    for (auto& r : s->receivers) fold(*r);
+    for (auto& p : s->populations) fold(*p->delegate);
+    sample.raw.assign(merged.begin(), merged.end());
+    samples.push_back(std::move(sample));
+  }
+  return roll_up_sessions(samples);
 }
 
 // ---------------------------------------------------------------------------
@@ -618,6 +700,73 @@ sim::aqm_config aqm_config_from_flags(const util::flag_set& flags) {
       checked("codel-target", 1.0, 1e9, "a positive millisecond count")));
   cfg.codel.interval = sim::milliseconds(static_cast<std::int64_t>(
       checked("codel-interval", 1.0, 1e9, "a positive millisecond count")));
+  return cfg;
+}
+
+void add_cm_flags(util::flag_set& flags, const char* def) {
+  flags.add_enum("cm", def,
+                 "shared congestion manager across co-located sessions: both "
+                 "sweeps it as a grid axis",
+                 {"off", "on", "both"});
+  flags.add("cm-entries", "64", "cm: LRU state-cache capacity, entries");
+  flags.add("cm-aging", "8", "cm: staleness window, slots");
+  flags.add("cm-threshold", "0.25",
+            "cm: congestion EWMA level the cap binds above");
+  flags.add("cm-headroom", "1.3", "cm: fair-rate multiplier for the cap");
+}
+
+std::vector<bool> cm_axis_from_flags(const util::flag_set& flags) {
+  const std::string v = flags.str("cm");
+  if (v == "off") return {false};
+  if (v == "on") return {true};
+  if (v == "both") return {false, true};
+  std::fprintf(stderr,
+               "bad value for --cm: '%s' (expected off, on, or both)\n",
+               v.c_str());
+  std::exit(1);
+}
+
+cm::cm_config cm_config_from_flags(const util::flag_set& flags) {
+  // Range-check with the friendly bad-flag UX: the cm_config constructor
+  // checks too, but its invariant_error would surface out of a sweep worker
+  // thread as std::terminate instead of a flag message.
+  cm::cm_config cfg;
+  const std::int64_t entries = flags.i64("cm-entries");
+  if (entries < 1 || entries > 1 << 20) {
+    std::fprintf(stderr,
+                 "bad value for --cm-entries: '%lld' (expected an entry "
+                 "count in [1, 2^20])\n",
+                 static_cast<long long>(entries));
+    std::exit(1);
+  }
+  cfg.max_entries = static_cast<int>(entries);
+  const std::int64_t aging = flags.i64("cm-aging");
+  if (aging < 1 || aging > 1 << 20) {
+    std::fprintf(stderr,
+                 "bad value for --cm-aging: '%lld' (expected a slot count in "
+                 "[1, 2^20])\n",
+                 static_cast<long long>(aging));
+    std::exit(1);
+  }
+  cfg.aging_slots = aging;
+  const double threshold = flags.f64("cm-threshold");
+  if (!(threshold >= 0.0 && threshold <= 1.0)) {
+    std::fprintf(stderr,
+                 "bad value for --cm-threshold: %g (expected a fraction in "
+                 "[0, 1])\n",
+                 threshold);
+    std::exit(1);
+  }
+  cfg.congestion_threshold = threshold;
+  const double headroom = flags.f64("cm-headroom");
+  if (!(headroom > 0.0 && headroom <= 100.0)) {
+    std::fprintf(stderr,
+                 "bad value for --cm-headroom: %g (expected a multiplier in "
+                 "(0, 100])\n",
+                 headroom);
+    std::exit(1);
+  }
+  cfg.headroom = headroom;
   return cfg;
 }
 

@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "adversary/adversary.h"
+#include "cm/congestion_manager.h"
 #include "core/flid_ds.h"
+#include "exp/report.h"
 #include "obs/metrics.h"
 #include "core/sigma_router.h"
 #include "flid/flid_receiver.h"
@@ -125,6 +127,16 @@ struct testbed_config {
   /// Event-queue policy of the testbed's scheduler (heap or timer wheel);
   /// both fire the exact same event order, so results are policy-invariant.
   sim::scheduler_config sched;
+  /// Shared congestion manager across co-located sessions (src/cm): when on,
+  /// the testbed owns one cm::congestion_manager, registers every FLID
+  /// receiver's session under its aggregated edge path, and receivers cap
+  /// their join decisions on the shared state. Off (the default) leaves the
+  /// legacy code path untouched — byte-identical behaviour, pinned by
+  /// cm_test. With one session the cap never binds, so single-session
+  /// worlds are byte-identical either way.
+  bool cm = false;
+  /// Parameters of the shared manager when `cm` is on.
+  cm::cm_config cm_params;
   std::uint64_t seed = 1;
 };
 
@@ -220,6 +232,23 @@ class testbed {
                                  const std::vector<receiver_options>& receivers,
                                  const session_options& opts = {});
 
+  /// N sessions stamped from one template: session i is an independent
+  /// add_flid_session(mode, receivers, opts) call, so sessions draw their
+  /// seeds in array order and each gets its own sender, receivers, and
+  /// session id. Returns the sessions in index order (pointers stay valid
+  /// for the testbed's lifetime). The multi-session facility behind
+  /// fig_session_farm and the cross-session roll-up tests.
+  std::vector<flid_session*> add_session_array(
+      int n, flid_mode mode, const std::vector<receiver_options>& receivers,
+      const session_options& opts = {});
+
+  /// The shared congestion manager; nullptr when testbed_config::cm is off.
+  [[nodiscard]] cm::congestion_manager* shared_cm() { return cm_.get(); }
+  /// The aggregated path id receivers behind `site` register under.
+  [[nodiscard]] cm::path_id cm_path(const std::string& site) const {
+    return cm::path_id{topo_.node(site), cm::path_direction::downstream, 0};
+  }
+
   /// Attaches an aggregated receiver population to `session`: one delegate
   /// host at the chosen edge whose strategy speaks the session's protocol at
   /// the population's consolidated demand (population::make_aggregate_strategy).
@@ -277,6 +306,9 @@ class testbed {
   void register_scheduler_metrics();
   void register_edge_metrics(const std::string& site, edge_agents& agents);
   void register_link_metrics();
+  /// cm.* views — registered only when the manager exists, so legacy
+  /// (cm-off) metric snapshots keep their historical byte layout.
+  void register_cm_metrics();
 
   testbed_config cfg_;
   sim::scheduler sched_;
@@ -286,6 +318,9 @@ class testbed {
   /// Declared before sessions_ so pools outlive the strategies using them.
   std::map<int, std::unique_ptr<adversary::collusion_coordinator>>
       coordinators_;
+  /// Declared before sessions_ so the shared manager outlives the receivers
+  /// reporting into it; null unless cfg_.cm.
+  std::unique_ptr<cm::congestion_manager> cm_;
   std::vector<std::unique_ptr<flid_session>> sessions_;
   std::vector<std::unique_ptr<tcp_flow>> tcp_flows_;
   std::vector<std::unique_ptr<cbr_flow>> cbr_flows_;
@@ -324,6 +359,9 @@ struct dumbbell_config {
   int probation_memory_slots = 0;
   /// Event-queue policy (testbed_config::sched).
   sim::scheduler_config sched;
+  /// Shared congestion manager (testbed_config::cm / cm_params).
+  bool cm = false;
+  cm::cm_config cm_params;
 };
 
 /// Dumbbell testbed: senders attach at "l", receivers at "r".
@@ -346,6 +384,8 @@ struct parking_lot_config {
   bool interface_keying = false;  // testbed_config::interface_keying
   int probation_memory_slots = 0;  // testbed_config::probation_memory_slots
   sim::scheduler_config sched;    // testbed_config::sched
+  bool cm = false;                // testbed_config::cm
+  cm::cm_config cm_params;        // testbed_config::cm_params
 };
 
 [[nodiscard]] testbed_config parking_lot(const parking_lot_config& cfg = {});
@@ -366,6 +406,8 @@ struct star_config {
   bool interface_keying = false;  // testbed_config::interface_keying
   int probation_memory_slots = 0;  // testbed_config::probation_memory_slots
   sim::scheduler_config sched;    // testbed_config::sched
+  bool cm = false;                // testbed_config::cm
+  cm::cm_config cm_params;        // testbed_config::cm_params
 };
 
 [[nodiscard]] testbed_config star(const star_config& cfg = {});
@@ -388,6 +430,8 @@ struct tree_config {
   bool interface_keying = false;  // testbed_config::interface_keying
   int probation_memory_slots = 0;  // testbed_config::probation_memory_slots
   sim::scheduler_config sched;    // testbed_config::sched
+  bool cm = false;                // testbed_config::cm
+  cm::cm_config cm_params;        // testbed_config::cm_params
 };
 
 [[nodiscard]] testbed_config balanced_tree(const tree_config& cfg = {});
@@ -395,6 +439,15 @@ struct tree_config {
 /// Average of receiver throughputs over [t0, t1) in Kbps.
 [[nodiscard]] double average_receiver_kbps(flid_session& session,
                                            sim::time_ns t0, sim::time_ns t1);
+
+/// Cross-session roll-up over [t0, t1): one column per session named
+/// "session<id>", rate = summed goodput (Kbps) of its receivers and
+/// population delegates, raw series = the point-wise sum of their kbps
+/// series. Per-session smoothing state is independent (exp::ewma_smooth),
+/// so the roll-up is invariant to session registration order.
+[[nodiscard]] session_rollup session_rollup_for(
+    const std::vector<flid_session*>& sessions, sim::time_ns t0,
+    sim::time_ns t1);
 
 // ---------------------------------------------------------------------------
 // AQM flag glue: every bench that sweeps queue disciplines registers the
@@ -455,6 +508,26 @@ void add_probation_memory_flag(util::flag_set& flags, const char* def = "off");
 /// bench-main glue, like the AQM flags.
 [[nodiscard]] std::vector<int> probation_memory_axis_from_flags(
     const util::flag_set& flags);
+
+/// Registers the shared congestion-manager flags on a bench's flag set:
+///   --cm V           off | on | both ("both" sweeps the shared manager as a
+///                    grid axis: one cell without, one with)
+///   --cm-entries N   LRU state-cache capacity
+///   --cm-aging N     staleness window, slots
+///   --cm-threshold F congestion EWMA level the cap binds above
+///   --cm-headroom F  fair-rate multiplier for the level cap
+/// `def` is the bench's default ("off" keeps historical single-manager
+/// benches byte-identical; fig_session_farm defaults to "both").
+void add_cm_flags(util::flag_set& flags, const char* def = "off");
+
+/// Decodes --cm into the axis values to sweep, in off-first order ({false},
+/// {true}, or {false, true}). Bad values print a friendly message and
+/// exit(1) — bench-main glue, like the AQM flags.
+[[nodiscard]] std::vector<bool> cm_axis_from_flags(const util::flag_set& flags);
+
+/// Decodes the --cm-* parameter flags into a cm_config, with the friendly
+/// bad-flag UX on out-of-range values.
+[[nodiscard]] cm::cm_config cm_config_from_flags(const util::flag_set& flags);
 
 /// Registers the shared scheduler-policy flag on a bench's flag set:
 ///   --sched P   event-queue policy: heap | wheel. Both policies fire the

@@ -130,10 +130,67 @@ slot_summary flid_receiver::summarize(std::int64_t slot) const {
   return s;
 }
 
+void flid_receiver::set_congestion_path(cm::congestion_manager* manager,
+                                        cm::path_id path) {
+  util::require(!started_,
+                "flid_receiver: attach the congestion manager before start");
+  util::require(manager != nullptr,
+                "flid_receiver: null congestion manager");
+  cm_ = manager;
+  cm_path_ = path;
+  cm_cum_kbps_.resize(static_cast<std::size_t>(cfg_.num_groups));
+  for (int level = 1; level <= cfg_.num_groups; ++level) {
+    cm_cum_kbps_[static_cast<std::size_t>(level - 1)] =
+        cfg_.cumulative_rate_bps(level) / 1e3;
+  }
+  cm_trace_ = obs::current_trace();
+  if (cm_trace_ != nullptr) {
+    cm_track_ = cm_trace_->track("cm/" + net_.get(host_)->name());
+  }
+}
+
+void flid_receiver::apply_congestion_manager(slot_summary& summary) {
+  // Report first, consult second: a slot's own congestion evidence is part
+  // of the state the cap is computed from (all co-located receivers fold
+  // into the same entry before any of them acts on it).
+  cm::observation report;
+  report.slot = summary.slot;
+  report.congested = summary.congested;
+  for (int g = 1; g <= summary.level; ++g) {
+    if (summary.groups[static_cast<std::size_t>(g)].scrubbed) {
+      report.ecn_marked = true;
+      break;
+    }
+  }
+  report.delivered_kbps =
+      summary.level > 0
+          ? cm_cum_kbps_[static_cast<std::size_t>(summary.level - 1)]
+          : 0.0;
+  cm_->observe(cm_path_, report);
+
+  const int cap = cm_->level_cap(cm_path_, summary.slot, cm_cum_kbps_);
+  if (cap >= cfg_.num_groups) return;
+  // Mask authorization above the cap — the same granted-prefix idiom as the
+  // population aggregates: bits 1..cap survive, upgrades past the estimated
+  // fair level are withheld. Downgrades are never forced; strategies that
+  // ignore authorization (attackers) are untouched by design.
+  const std::uint32_t masked =
+      summary.auth_mask & (cap >= 31 ? ~0u : ((2u << cap) - 2u));
+  if (masked == summary.auth_mask) return;
+  summary.auth_mask = masked;
+  ++stats_.cm_bindings;
+  if (cm_trace_ != nullptr) {
+    cm_trace_->record(net_.sched().now(), obs::trace_event::cm_cap, cm_track_,
+                      static_cast<std::uint64_t>(summary.slot),
+                      static_cast<std::uint64_t>(cap));
+  }
+}
+
 void flid_receiver::evaluate_slot(std::int64_t slot) {
   ++stats_.slots_evaluated;
-  const slot_summary summary = summarize(slot);
+  slot_summary summary = summarize(slot);
   if (summary.congested) ++stats_.slots_congested;
+  if (cm_ != nullptr) apply_congestion_manager(summary);
 
   const int before = level_;
   const int target = strategy_->on_slot(*this, summary);

@@ -16,9 +16,11 @@
 #include <optional>
 #include <vector>
 
+#include "cm/congestion_manager.h"
 #include "crypto/key.h"
 #include "flid/flid_config.h"
 #include "mcast/igmp.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/stats.h"
 
@@ -103,6 +105,20 @@ class flid_receiver : public sim::agent {
     return level_history_;
   }
 
+  /// Attaches this receiver to a shared congestion manager (exp::testbed's
+  /// `cm` facility): every evaluated slot is reported to `manager` under
+  /// `path`, and the slot summary's upgrade-authorization mask is capped to
+  /// the manager's level_cap before the strategy sees it. Detached (the
+  /// default), slot evaluation is byte-identical to the legacy path. The
+  /// caller registers/unregisters the session with the manager; this only
+  /// wires the data plane. Must be called before start().
+  void set_congestion_path(cm::congestion_manager* manager, cm::path_id path);
+
+  /// The congestion manager this receiver reports to; nullptr = detached.
+  [[nodiscard]] cm::congestion_manager* congestion_manager() const {
+    return cm_;
+  }
+
   // --- primitives used by strategies ------------------------------------------
   /// Updates the cumulative subscription level: joins/leaves local host state
   /// and records join times for full-slot bookkeeping. Does NOT signal the
@@ -115,6 +131,11 @@ class flid_receiver : public sim::agent {
     std::uint64_t slots_evaluated = 0;
     std::uint64_t upgrades = 0;
     std::uint64_t downgrades = 0;
+    /// Slots where the shared congestion manager's cap actually removed
+    /// upgrade-authorization bits the slot had granted. Zero bindings over a
+    /// run proves the strategy saw exactly the legacy summaries (the
+    /// cm_test conformance law: no bindings => byte-identical behaviour).
+    std::uint64_t cm_bindings = 0;
   };
   [[nodiscard]] const counters& stats() const { return stats_; }
 
@@ -123,6 +144,9 @@ class flid_receiver : public sim::agent {
   void evaluate_up_to(std::int64_t slot);  // evaluates [eval_slot_, slot]
   void arm_fallback();
   [[nodiscard]] slot_summary summarize(std::int64_t slot) const;
+  /// Reports `summary` to the shared congestion manager and caps its
+  /// auth_mask to the manager's level cap (no-op when detached).
+  void apply_congestion_manager(slot_summary& summary);
 
   sim::network& net_;
   sim::node_id host_;
@@ -131,6 +155,16 @@ class flid_receiver : public sim::agent {
   std::unique_ptr<subscription_strategy> strategy_;
   mcast::membership_client membership_;
   sim::throughput_monitor monitor_;
+
+  /// Shared congestion manager (exp::testbed facility); nullptr = detached,
+  /// which keeps slot evaluation byte-identical to the legacy path.
+  cm::congestion_manager* cm_ = nullptr;
+  cm::path_id cm_path_{};
+  /// Cumulative per-level rates in Kbps, precomputed at attach time so slot
+  /// evaluation consults the manager without per-slot allocation.
+  std::vector<double> cm_cum_kbps_;
+  obs::trace_buffer* cm_trace_ = nullptr;
+  std::uint32_t cm_track_ = 0;
 
   int level_ = 0;  // current target subscription level
   std::vector<sim::time_ns> join_time_;  // per group (1..N); -1 = not joined

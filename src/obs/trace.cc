@@ -20,6 +20,7 @@ const char* trace_event_name(trace_event e) {
     case trace_event::probation_refuse: return "probation_refuse";
     case trace_event::slot_feedback: return "slot_feedback";
     case trace_event::cutoff: return "cutoff";
+    case trace_event::cm_cap: return "cm_cap";
   }
   return "?";
 }

@@ -44,6 +44,9 @@ enum class trace_event : std::uint16_t {
   probation_refuse = 12,
   slot_feedback = 13,
   cutoff = 14,
+  /// A shared-congestion-manager cap bound a receiver's upgrade authority:
+  /// a = the evaluated slot, b = the cap level applied.
+  cm_cap = 15,
 };
 
 [[nodiscard]] const char* trace_event_name(trace_event e);

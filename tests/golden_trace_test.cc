@@ -5,147 +5,25 @@
 // decision sequences, PRNG streams — changes a digest and fails loudly here
 // long before it would show up as a subtly shifted figure.
 //
-// The digests are a contract about determinism, not about correctness: when
-// an INTENTIONAL engine change shifts them, rerun the test, copy the printed
-// digests into `golden()` below, and say so in the PR.
+// The scenarios, the fold, and the checked-in constants live in
+// golden_digests.h, shared with cm_test (which re-runs the same worlds with
+// the shared congestion manager on). Update protocol is documented there.
 #include <gtest/gtest.h>
 
-#include <cstdint>
 #include <string>
 
-#include "adversary/adversary.h"
-#include "adversary/containment.h"
-#include "crypto/prng.h"
-#include "exp/testbed.h"
+#include "golden_digests.h"
 #include "obs/trace.h"
-#include "sim/aqm.h"
-#include "sim/link.h"
-#include "sim/network.h"
-#include "sim/scheduler.h"
-#include "test_util.h"
 
 namespace mcc::sim {
 namespace {
 
-/// FNV-1a 64-bit, folded one 64-bit word at a time.
-struct fnv1a {
-  std::uint64_t h = 14695981039346656037ULL;
-  void fold(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ULL;
-    }
-  }
-  [[nodiscard]] std::string hex() const {
-    char buf[19];
-    std::snprintf(buf, sizeof buf, "0x%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
-  }
-};
-
-/// Agent that folds every delivered packet into the digest.
-class hashing_sink : public agent {
- public:
-  hashing_sink(network& net, node_id host, fnv1a& digest)
-      : sched_(net.sched()), digest_(digest) {
-    net.get(host)->add_agent(this);
-  }
-
-  bool handle_packet(const packet& p, link*) override {
-    digest_.fold(static_cast<std::uint64_t>(sched_.now()));
-    digest_.fold(p.uid);
-    digest_.fold(static_cast<std::uint64_t>(p.src));
-    digest_.fold(static_cast<std::uint64_t>(p.size_bytes));
-    digest_.fold(p.ecn_marked ? 1 : 0);
-    return true;
-  }
-
- private:
-  scheduler& sched_;
-  fnv1a& digest_;
-};
-
-/// The scenario: two senders blast prng-shaped traffic (exponential gaps,
-/// mixed sizes, every other packet ECN-capable) at ~2x the bottleneck rate
-/// of a dumbbell whose bottleneck runs the given discipline.
-std::string run_digest(qdisc d, scheduler_config sched_cfg = {}) {
-  scheduler sched(sched_cfg);
-  network net(sched);
-  const node_id ha = net.add_host("ha");
-  const node_id hb = net.add_host("hb");
-  const node_id r1 = net.add_router("r1");
-  const node_id r2 = net.add_router("r2");
-  const node_id hc = net.add_host("hc");
-  const node_id hd = net.add_host("hd");
-
-  link_config access;
-  access.bps = 10e6;
-  access.delay = milliseconds(1);
-  link_config bottleneck;
-  bottleneck.bps = 1e6;
-  bottleneck.delay = milliseconds(5);
-  bottleneck.queue_capacity_bytes = 15'000;
-  bottleneck.aqm.discipline = d;
-  bottleneck.aqm.seed = 7;
-  net.connect(ha, r1, access);
-  net.connect(hb, r1, access);
-  net.connect(r1, r2, bottleneck);
-  net.connect(r2, hc, access);
-  net.connect(r2, hd, access);
-  net.finalize_routing();
-
-  fnv1a digest;
-  hashing_sink sink_c(net, hc, digest);
-  hashing_sink sink_d(net, hd, digest);
-
-  crypto::prng rng(42);
-  const struct {
-    node_id src;
-    node_id dst;
-    std::uint64_t stream;
-  } flows[] = {{ha, hc, 1}, {hb, hd, 2}};
-  for (const auto& f : flows) {
-    crypto::prng stream = rng.fork(f.stream);
-    time_ns t = 0;
-    for (int i = 0; i < 1'200; ++i) {
-      t += static_cast<time_ns>(stream.uniform(1e6, 8e6));  // 1..8 ms gaps
-      const int size = static_cast<int>(stream.uniform_int(200, 1'400));
-      const bool ecn = (i % 2) == 0;
-      const node_id src = f.src;
-      const node_id dst = f.dst;
-      sched.at(t, [&net, src, dst, size, ecn] {
-        packet p = mcc::testing::make_packet(size, dst);
-        p.ecn_capable = ecn;
-        net.get(src)->send(std::move(p));
-      });
-    }
-  }
-  sched.run();
-
-  // Fold the bottleneck's final counters: drops that never reach a sink must
-  // still shift the digest.
-  const link_stats& bn = net.next_hop(r1, hc)->stats();
-  digest.fold(bn.enqueued);
-  digest.fold(bn.dropped);
-  digest.fold(bn.aqm_dropped);
-  digest.fold(bn.ecn_marked);
-  digest.fold(static_cast<std::uint64_t>(bn.bytes_dropped));
-  digest.fold(static_cast<std::uint64_t>(bn.max_queued_bytes));
-  return digest.hex();
-}
-
-/// Checked-in digests. Regenerate by running this suite and copying the
-/// values printed in the failure messages.
-const char* golden(qdisc d) {
-  switch (d) {
-    case qdisc::droptail: return "0x4b17afea52a0332c";
-    case qdisc::ecn_threshold: return "0xd85981df81dd339c";
-    case qdisc::red: return "0xd5968bba4465239e";
-    case qdisc::codel: return "0xfd85f351064fd636";
-  }
-  return "";
-}
+using mcc::testing::golden;
+using mcc::testing::kAdaptivePulseGolden;
+using mcc::testing::kPulseAttackGolden;
+using mcc::testing::run_adaptive_pulse_digest;
+using mcc::testing::run_digest;
+using mcc::testing::run_pulse_attack_digest;
 
 class golden_trace : public ::testing::TestWithParam<qdisc> {};
 
@@ -194,58 +72,13 @@ INSTANTIATE_TEST_SUITE_P(all_qdiscs, golden_trace,
                          });
 
 // ---------------------------------------------------------------------------
-// Adversary golden trace: a pulse_inflate attack on a FLID-DS dumbbell,
-// digesting the full attack timeline — both receivers' subscription level
-// histories, byte totals and slot counters, the SIGMA edge counters, and
-// the bottleneck counters. Everything folded is integral, so the digest is
-// identical in Release and sanitizer builds. Same update protocol as the
-// per-qdisc digests above.
+// Adversary golden traces: the pulse_inflate and adaptive_pulse attack
+// timelines on a FLID-DS dumbbell, pinned end to end (scenario details in
+// golden_digests.h).
 // ---------------------------------------------------------------------------
 
-std::string run_pulse_attack_digest(scheduler_config sched_cfg = {}) {
-  exp::dumbbell_config cfg;
-  cfg.sched = sched_cfg;
-  cfg.bottleneck_bps = 1e6;
-  cfg.seed = 5;
-  exp::testbed d(exp::dumbbell(cfg));
-  exp::receiver_options attacker;
-  attacker.attack = mcc::adversary::pulse_inflate(
-      sim::seconds(15.0), sim::seconds(4.0), sim::seconds(4.0));
-  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
-  auto& honest = d.add_flid_session(exp::flid_mode::ds,
-                                    {exp::receiver_options{}});
-  d.run_until(sim::seconds(60.0));
-
-  fnv1a digest;
-  for (flid::flid_receiver* r : {&rogue.receiver(), &honest.receiver()}) {
-    digest.fold(static_cast<std::uint64_t>(r->monitor().total_bytes()));
-    digest.fold(r->stats().packets);
-    digest.fold(r->stats().slots_congested);
-    digest.fold(r->stats().upgrades);
-    digest.fold(r->stats().downgrades);
-    for (const auto& [t, lvl] : r->level_history()) {
-      digest.fold(static_cast<std::uint64_t>(t));
-      digest.fold(static_cast<std::uint64_t>(lvl));
-    }
-  }
-  const auto& sg = d.sigma().stats();
-  digest.fold(sg.subscribe_msgs);
-  digest.fold(sg.valid_keys);
-  digest.fold(sg.invalid_keys);
-  digest.fold(sg.denied);
-  digest.fold(sg.grace_forwards);
-  digest.fold(sg.session_joins);
-  digest.fold(sg.unsubscribes);
-  const link_stats& bn = d.bottleneck()->stats();
-  digest.fold(bn.enqueued);
-  digest.fold(bn.dropped);
-  digest.fold(bn.delivered);
-  digest.fold(static_cast<std::uint64_t>(bn.bytes_dropped));
-  return digest.hex();
-}
-
 TEST(golden_trace_adversary, pulse_inflate_timeline_matches_checked_in_digest) {
-  EXPECT_EQ(run_pulse_attack_digest(), "0xfd1bc9bde74fb696")
+  EXPECT_EQ(run_pulse_attack_digest(), kPulseAttackGolden)
       << "adversary attack timeline drifted (if intentional, update the "
          "digest with the value above)";
 }
@@ -259,64 +92,12 @@ TEST(golden_trace_adversary, pulse_digest_is_policy_invariant) {
   // to the same digest under the timer wheel.
   scheduler_config wheel;
   wheel.policy = sched_policy::wheel;
-  EXPECT_EQ(run_pulse_attack_digest(wheel), "0xfd1bc9bde74fb696")
+  EXPECT_EQ(run_pulse_attack_digest(wheel), kPulseAttackGolden)
       << "wheel scheduler diverged from the heap on the attack timeline";
 }
 
-// ---------------------------------------------------------------------------
-// Adaptive-adversary golden trace: the measurement-driven pulse on the same
-// FLID-DS dumbbell. The closed loop (probe -> measured enforcement lag ->
-// tuned phases) is pure feedback logic, so its whole timeline is pinnable
-// the same way; drift here means the adaptation law changed.
-// ---------------------------------------------------------------------------
-
-std::string run_adaptive_pulse_digest() {
-  exp::dumbbell_config cfg;
-  cfg.bottleneck_bps = 1e6;
-  cfg.seed = 5;
-  exp::testbed d(exp::dumbbell(cfg));
-  exp::receiver_options attacker;
-  attacker.attack =
-      mcc::adversary::adaptive_pulse(sim::seconds(15.0), sim::seconds(5.0));
-  auto& rogue = d.add_flid_session(exp::flid_mode::ds, {attacker});
-  auto& honest = d.add_flid_session(exp::flid_mode::ds,
-                                    {exp::receiver_options{}});
-  d.run_until(sim::seconds(60.0));
-
-  fnv1a digest;
-  for (flid::flid_receiver* r : {&rogue.receiver(), &honest.receiver()}) {
-    digest.fold(static_cast<std::uint64_t>(r->monitor().total_bytes()));
-    digest.fold(r->stats().packets);
-    digest.fold(r->stats().slots_congested);
-    for (const auto& [t, lvl] : r->level_history()) {
-      digest.fold(static_cast<std::uint64_t>(t));
-      digest.fold(static_cast<std::uint64_t>(lvl));
-    }
-  }
-  const auto& sg = d.sigma().stats();
-  digest.fold(sg.subscribe_msgs);
-  digest.fold(sg.valid_keys);
-  digest.fold(sg.invalid_keys);
-  digest.fold(sg.denied);
-  digest.fold(sg.grace_forwards);
-  digest.fold(sg.session_joins);
-  digest.fold(sg.unsubscribes);
-  // The attacker's cost counters are part of the pinned contract: the
-  // adaptation law's spend must not drift silently either.
-  const mcc::adversary::attacker_cost cost =
-      mcc::adversary::measure_cost(rogue.receiver());
-  digest.fold(cost.ctrl_msgs);
-  digest.fold(cost.useless_keys);
-  digest.fold(cost.cutoff_slots);
-  const link_stats& bn = d.bottleneck()->stats();
-  digest.fold(bn.enqueued);
-  digest.fold(bn.dropped);
-  digest.fold(bn.delivered);
-  return digest.hex();
-}
-
 TEST(golden_trace_adversary, adaptive_pulse_timeline_matches_checked_in_digest) {
-  EXPECT_EQ(run_adaptive_pulse_digest(), "0xa925fe56e16b02de")
+  EXPECT_EQ(run_adaptive_pulse_digest(), kAdaptivePulseGolden)
       << "adaptive-attacker timeline drifted (if intentional, update the "
          "digest with the value above)";
 }
@@ -352,7 +133,7 @@ TEST(golden_trace_adversary, pulse_digest_is_bit_identical_with_tracing) {
     obs::trace_scope scope(&tb);
     digest = run_pulse_attack_digest();
   }
-  EXPECT_EQ(digest, "0xfd1bc9bde74fb696")
+  EXPECT_EQ(digest, kPulseAttackGolden)
       << "enabling the event trace perturbed the attack timeline";
   EXPECT_FALSE(tb.empty());
 }
@@ -364,7 +145,7 @@ TEST(golden_trace_adversary, adaptive_digest_is_bit_identical_with_tracing) {
     obs::trace_scope scope(&tb);
     digest = run_adaptive_pulse_digest();
   }
-  EXPECT_EQ(digest, "0xa925fe56e16b02de")
+  EXPECT_EQ(digest, kAdaptivePulseGolden)
       << "enabling the event trace perturbed the adaptive-attack timeline";
   EXPECT_FALSE(tb.empty());
 }

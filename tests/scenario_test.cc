@@ -303,5 +303,135 @@ TEST(scenario, parking_lot_attacker_behind_second_bottleneck_is_contained) {
   EXPECT_GT(tcp_kbps, 50.0);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-session roll-up: per-session columns, Jain fairness, conservation
+// ---------------------------------------------------------------------------
+
+TEST(session_rollup_stats, per_session_columns_conserve_delivered_bytes) {
+  dumbbell_config cfg;
+  cfg.bottleneck_bps = 1e6;
+  cfg.seed = 3;
+  testbed d(dumbbell(cfg));
+  const auto sessions =
+      d.add_session_array(3, flid_mode::ds, {receiver_options{}});
+  const sim::time_ns horizon = sim::seconds(30.0);
+  d.run_until(horizon);
+
+  const session_rollup r = session_rollup_for(sessions, 0, horizon);
+  ASSERT_EQ(r.sessions.size(), 3u);
+  EXPECT_EQ(r.sessions[0].name, "session1");
+  EXPECT_EQ(r.sessions[1].name, "session2");
+  EXPECT_EQ(r.sessions[2].name, "session3");
+  // The total is exactly the sum of the per-session columns...
+  double column_sum = 0.0;
+  for (const auto& c : r.sessions) column_sum += c.rate;
+  EXPECT_DOUBLE_EQ(r.total_rate, column_sum);
+  // ...each receiver byte lands in exactly one session's column (the rate
+  // columns and the byte counters are independent read-outs of the same
+  // monitors, so they must reconcile over the full-run window)...
+  const double column_bytes =
+      r.total_rate * 1e3 / 8.0 * (static_cast<double>(horizon) / 1e9);
+  double receiver_bytes = 0.0;
+  for (flid_session* s : sessions) {
+    for (auto& rcv : s->receivers) {
+      receiver_bytes += static_cast<double>(rcv->monitor().total_bytes());
+    }
+  }
+  ASSERT_GT(receiver_bytes, 0.0);
+  EXPECT_NEAR(column_bytes / receiver_bytes, 1.0, 0.02);
+  // ...and the columns never claim more than the shared link delivered. The
+  // link side is larger: it also carries layers a receiver never subscribed
+  // to (pruned downstream) and packets still in flight at the horizon.
+  const double link_bytes =
+      static_cast<double>(d.bottleneck()->stats().bytes_delivered);
+  EXPECT_GT(link_bytes, 0.0);
+  EXPECT_LE(column_bytes, link_bytes);
+  EXPECT_GT(column_bytes / link_bytes, 0.75)
+      << "goodput columns should account for most of the link's bytes";
+}
+
+TEST(session_rollup_stats, identical_honest_sessions_reach_jain_one) {
+  // Exactly equal rates give exactly 1.0 — the index itself is pinned...
+  session_sample even;
+  even.rate = 250.0;
+  const session_rollup unit = roll_up_sessions({even, even, even});
+  EXPECT_DOUBLE_EQ(unit.jain, 1.0);
+
+  // ...and end to end, three identical honest sessions on their own star
+  // spokes (same ladder, same spoke capacity, no contention between them)
+  // converge to equal shares.
+  star_config cfg;
+  cfg.spokes = 3;
+  cfg.seed = 4;
+  testbed d(star(cfg));
+  std::vector<flid_session*> sessions;
+  for (int i = 1; i <= 3; ++i) {
+    receiver_options r;
+    r.at = "s" + std::to_string(i);
+    sessions.push_back(&d.add_flid_session(flid_mode::ds, {r}));
+  }
+  d.run_until(sim::seconds(40.0));
+  // Skip the start-up ramp: fairness is a steady-state claim.
+  const session_rollup r =
+      session_rollup_for(sessions, sim::seconds(10.0), sim::seconds(40.0));
+  EXPECT_NEAR(r.jain, 1.0, 0.01)
+      << "identical honest sessions should converge to equal shares";
+  for (const auto& c : r.sessions) EXPECT_GT(c.rate, 0.0) << c.name;
+}
+
+TEST(session_rollup_stats, three_session_smoke_on_every_topology) {
+  const struct {
+    const char* name;
+    testbed_config config;
+  } topos[] = {{"dumbbell", dumbbell({})},
+               {"parking_lot", parking_lot({})},
+               {"star", star({})},
+               {"tree", balanced_tree({})}};
+  for (const auto& t : topos) {
+    SCOPED_TRACE(t.name);
+    testbed d(t.config);
+    const auto sessions =
+        d.add_session_array(3, flid_mode::ds, {receiver_options{}});
+    d.run_until(sim::seconds(20.0));
+    const session_rollup r =
+        session_rollup_for(sessions, 0, sim::seconds(20.0));
+    ASSERT_EQ(r.sessions.size(), 3u);
+    EXPECT_GT(r.total_rate, 0.0);
+    EXPECT_GT(r.jain, 0.0);
+    for (const auto& c : r.sessions) {
+      EXPECT_GT(c.rate, 0.0) << c.name;
+      EXPECT_FALSE(c.smoothed.empty()) << c.name;
+    }
+  }
+}
+
+TEST(session_rollup_stats, smoothing_state_never_leaks_across_sessions) {
+  // Regression: per-session smoothed series must depend only on the
+  // session's own samples, never on the order sessions were rolled up in.
+  session_sample a;
+  a.name = "a";
+  a.rate = 100.0;
+  a.raw = {{0.0, 100.0}, {1.0, 300.0}, {2.0, 50.0}};
+  session_sample b;
+  b.name = "b";
+  b.rate = 900.0;
+  b.raw = {{0.0, 900.0}, {1.0, 900.0}, {2.0, 900.0}};
+
+  const session_rollup ab = roll_up_sessions({a, b});
+  const session_rollup ba = roll_up_sessions({b, a});
+  ASSERT_EQ(ab.sessions.size(), 2u);
+  ASSERT_EQ(ba.sessions.size(), 2u);
+  EXPECT_EQ(ab.sessions[0].name, "a");
+  EXPECT_EQ(ba.sessions[1].name, "a");
+  EXPECT_EQ(ab.sessions[0].smoothed, ba.sessions[1].smoothed)
+      << "a's smoothed column changed when b was rolled up first";
+  EXPECT_EQ(ab.sessions[1].smoothed, ba.sessions[0].smoothed);
+  EXPECT_DOUBLE_EQ(ab.jain, ba.jain);
+  EXPECT_DOUBLE_EQ(ab.total_rate, ba.total_rate);
+  // And the smoother itself starts fresh per call: first output == first raw.
+  ASSERT_FALSE(ab.sessions[0].smoothed.empty());
+  EXPECT_DOUBLE_EQ(ab.sessions[0].smoothed.front().second, 100.0);
+}
+
 }  // namespace
 }  // namespace mcc::exp
